@@ -1,0 +1,105 @@
+// Ablation: watchdog (IT1) interval selection.
+//
+// The paper arms IT1 "just slightly greater" than the maximum observed
+// L_timer gap (~800 us). This sweep shows the trade-off that motivates the
+// choice: shorter intervals detect hangs faster but begin to fire falsely
+// once they dip under the worst-case L_timer queueing delay; longer
+// intervals are safe but slow detection.
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "faultinject/workload.hpp"
+
+using namespace myri;
+
+namespace {
+
+struct SweepPoint {
+  double interval_us;
+  int false_positives = 0;   // FTD wakeups that found a live MCP
+  double detect_us = 0;      // mean detection latency for real hangs
+  double max_gap_us = 0;     // observed max L_timer gap under the load
+};
+
+SweepPoint sweep_interval(double interval_us) {
+  SweepPoint pt;
+  pt.interval_us = interval_us;
+
+  // Phase 1: heavy bidirectional load, no faults -> count false alarms.
+  {
+    gm::ClusterConfig cc;
+    cc.nodes = 2;
+    cc.mode = mcp::McpMode::kFtgm;
+    cc.timing.watchdog.it1_interval = sim::usecf(interval_us);
+    gm::Cluster cluster(cc);
+    auto& p0 = cluster.node(0).open_port(2);
+    auto& p1 = cluster.node(1).open_port(2);
+    fi::StreamWorkload::Config wc;
+    wc.total_msgs = bench::scaled(300);
+    wc.msg_len = 4096;
+    fi::StreamWorkload a(p0, p1, wc), b(p1, p0, wc);
+    cluster.run_for(sim::usec(900));
+    a.start();
+    b.start();
+    cluster.run_for(sim::msec(60));
+    pt.false_positives =
+        static_cast<int>(cluster.node(0).ftd().stats().false_alarms +
+                         cluster.node(1).ftd().stats().false_alarms);
+    pt.max_gap_us = sim::to_usec(
+        std::max(cluster.node(0).mcp().max_l_timer_gap(),
+                 cluster.node(1).mcp().max_l_timer_gap()));
+  }
+
+  // Phase 2: real hangs -> detection latency.
+  const int kReps = bench::scaled(8);
+  double sum = 0;
+  int n = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    gm::ClusterConfig cc;
+    cc.nodes = 2;
+    cc.mode = mcp::McpMode::kFtgm;
+    cc.timing.watchdog.it1_interval = sim::usecf(interval_us);
+    gm::Cluster cluster(cc);
+    cluster.node(0).open_port(2);
+    cluster.run_for(sim::usec(300 + 97 * rep));
+    const sim::Time t = cluster.eq().now();
+    cluster.node(0).ftd().mark_fault_injected();
+    cluster.node(0).mcp().inject_hang("sweep");
+    cluster.run_for(sim::msec(20));
+    const sim::Time raised = cluster.node(0).ftd().phases().interrupt_raised;
+    // Guard against false alarms that fired before the injection (possible
+    // when the interval undercuts the L_timer gap).
+    if (cluster.node(0).driver().fatal_interrupts() > 0 && raised >= t) {
+      sum += sim::to_usec(raised - t);
+      ++n;
+    }
+  }
+  pt.detect_us = n > 0 ? sum / n : -1;
+  return pt;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation -- watchdog interval vs detection latency");
+
+  const std::vector<double> intervals = {300, 450, 550, 600, 700,
+                                         820, 1200, 2000, 5000};
+  std::printf("%14s %14s %20s %18s\n", "IT1 interval", "false alarms",
+              "mean detection (us)", "max L_timer gap");
+  double gap = 0;
+  for (const double us : intervals) {
+    const SweepPoint pt = sweep_interval(us);
+    gap = std::max(gap, pt.max_gap_us);
+    std::printf("%12.0fus %14d %20.0f %16.0fus %s\n", pt.interval_us,
+                pt.false_positives, pt.detect_us, pt.max_gap_us,
+                us == 820 ? "  <- paper's choice" : "");
+  }
+  std::printf("\nMeasured max L_timer gap under load: ~%.0f us (paper: "
+              "~800 us on real\nhardware). Intervals at or below the gap "
+              "false-alarm; the paper arms IT1\n\"just slightly greater\" "
+              "than the worst gap, keeping detection sub-millisecond\nwith "
+              "zero false positives.\n", gap);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Extension experiment: network availability under periodic NIC faults.
+//
+// The paper motivates FTGM with high-availability systems (the NASA REE
+// supercomputer): what matters there is the fraction of time the network
+// can move messages. This bench runs a long transfer under periodic
+// network-processor hangs and charts goodput over time for baseline GM
+// (first hang is permanent: availability collapses) vs FTGM (each hang
+// costs ~1.7 s of downtime, then service resumes).
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "faultinject/workload.hpp"
+
+using namespace myri;
+
+namespace {
+
+struct AvailabilityResult {
+  std::vector<int> per_second;  // messages delivered in each 1 s bucket
+  int delivered = 0;
+  double availability = 0;      // fraction of seconds with goodput
+};
+
+AvailabilityResult run(mcp::McpMode mode, int seconds, int fault_period_s) {
+  gm::ClusterConfig cc;
+  cc.nodes = 2;
+  cc.mode = mode;
+  gm::Cluster cluster(cc);
+  auto& tx = cluster.node(0).open_port(2);
+  auto& rx = cluster.node(1).open_port(3);
+
+  fi::StreamWorkload::Config wc;
+  wc.total_msgs = 1'000'000;  // far more than the run can move
+  wc.msg_len = 65536;
+  fi::StreamWorkload wl(tx, rx, wc);
+  cluster.run_for(sim::usec(900));
+  wl.start();
+
+  // Periodic faults on the sender NIC.
+  for (int t = fault_period_s; t < seconds; t += fault_period_s) {
+    cluster.eq().schedule_at(sim::sec(static_cast<std::uint64_t>(t)),
+                             [&cluster] {
+                               cluster.node(0).mcp().inject_hang("periodic");
+                             });
+  }
+
+  AvailabilityResult res;
+  int last_count = 0;
+  for (int s = 0; s < seconds; ++s) {
+    cluster.run_for(sim::sec(1));
+    res.per_second.push_back(wl.received() - last_count);
+    last_count = wl.received();
+  }
+  res.delivered = wl.received();
+  int up = 0;
+  for (int g : res.per_second) up += g > 0 ? 1 : 0;
+  res.availability = static_cast<double>(up) / seconds;
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Extension -- availability under periodic NIC hangs (1 fault / 10 s)");
+
+  const int seconds = bench::scale() < 1.0 ? 20 : 40;
+  const auto gm = run(mcp::McpMode::kGm, seconds, 10);
+  const auto ft = run(mcp::McpMode::kFtgm, seconds, 10);
+
+  std::printf("per-second goodput (messages delivered):\n");
+  std::printf("%6s %10s %10s\n", "sec", "GM", "FTGM");
+  for (int s = 0; s < seconds; ++s) {
+    std::printf("%6d %10d %10d\n", s, gm.per_second[s], ft.per_second[s]);
+  }
+  std::printf("\n%-28s %12s %12s\n", "", "GM", "FTGM");
+  std::printf("%-28s %12d %12d\n", "total messages delivered", gm.delivered,
+              ft.delivered);
+  std::printf("%-28s %11.0f%% %11.0f%%\n", "network availability",
+              100.0 * gm.availability, 100.0 * ft.availability);
+  std::printf("\nClaim check: baseline GM never recovers from the first hang "
+              "(the node\nstays cut off); FTGM pays ~1.7 s per fault and "
+              "keeps serving, so\navailability stays high no matter how many "
+              "faults arrive.\n");
+  return 0;
+}

@@ -1,0 +1,204 @@
+// Shared measurement drivers for the benchmark binaries.
+//
+// Mirrors the paper's methodology (Section 5.1): latency is a repetitive
+// ping-pong with one-way latency = half the mean round-trip time; bandwidth
+// is the sustained bidirectional rate with both hosts sending at maximum
+// speed (gm_allsize-style); host utilization is the CPU time charged per
+// API call; LANai utilization is NIC-processor busy time per message.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "faultinject/workload.hpp"
+#include "gm/cluster.hpp"
+#include "metrics/metrics.hpp"
+
+namespace myri::bench {
+
+/// Environment override for run sizes: MYRI_BENCH_SCALE=0.1 shrinks
+/// campaigns for quick smoke runs; default 1.0 reproduces the paper.
+inline double scale() {
+  const char* s = std::getenv("MYRI_BENCH_SCALE");
+  if (s == nullptr) return 1.0;
+  const double v = std::atof(s);
+  return v > 0 ? v : 1.0;
+}
+
+inline int scaled(int n) {
+  const int v = static_cast<int>(n * scale());
+  return v < 1 ? 1 : v;
+}
+
+struct PingPongResult {
+  metrics::LatencyRecorder half_rtt;  // one-way latency samples
+  sim::Time lanai_busy_per_msg = 0;   // both NICs, per one-way message
+};
+
+/// Half-round-trip latency for `iters` ping-pong exchanges of `len` bytes.
+inline PingPongResult run_ping_pong(mcp::McpMode mode, std::uint32_t len,
+                                    int iters,
+                                    const gm::ClusterConfig& base = {}) {
+  gm::ClusterConfig cc = base;
+  cc.nodes = 2;
+  cc.mode = mode;
+  gm::Cluster cluster(cc);
+  auto& a = cluster.node(0).open_port(2);
+  auto& b = cluster.node(1).open_port(2);
+  cluster.run_for(sim::usec(900));
+
+  const std::uint32_t buf_len = len == 0 ? 4 : len;
+  gm::Buffer abuf = a.alloc_dma_buffer(buf_len);
+  gm::Buffer bbuf = b.alloc_dma_buffer(buf_len);
+  for (int i = 0; i < 4; ++i) {
+    a.provide_receive_buffer(a.alloc_dma_buffer(buf_len));
+    b.provide_receive_buffer(b.alloc_dma_buffer(buf_len));
+  }
+
+  PingPongResult res;
+  int remaining = iters;
+  sim::Time t0 = 0;
+
+  // Pong side: echo every message straight back.
+  b.set_receive_handler([&](const gm::RecvInfo& info) {
+    b.provide_receive_buffer(info.buffer);
+    b.send(bbuf, len, 0, 2);
+  });
+  // Ping side: timestamp, record, fire the next iteration.
+  a.set_receive_handler([&](const gm::RecvInfo& info) {
+    a.provide_receive_buffer(info.buffer);
+    res.half_rtt.add((cluster.eq().now() - t0) / 2);
+    if (--remaining > 0) {
+      t0 = cluster.eq().now();
+      a.send(abuf, len, 1, 2);
+    }
+  });
+
+  const sim::Time busy_before =
+      cluster.node(0).mcp().busy_ns() + cluster.node(1).mcp().busy_ns();
+  t0 = cluster.eq().now();
+  a.send(abuf, len, 1, 2);
+  cluster.run_for(sim::msec(10) + sim::Time(iters) * sim::usec(200));
+
+  const sim::Time busy_after =
+      cluster.node(0).mcp().busy_ns() + cluster.node(1).mcp().busy_ns();
+  const std::uint64_t msgs = 2ull * static_cast<std::uint64_t>(
+                                 res.half_rtt.count());
+  if (msgs > 0) res.lanai_busy_per_msg = (busy_after - busy_before) / msgs;
+  return res;
+}
+
+struct BandwidthResult {
+  double mb_per_s = 0;        // per-direction sustained rate
+  double lanai_busy_frac = 0; // NIC occupancy during the run
+};
+
+/// Sustained bidirectional data rate for message length `len`
+/// (both hosts send `msgs` messages as fast as tokens allow).
+inline BandwidthResult run_bandwidth_bidir(mcp::McpMode mode,
+                                           std::uint32_t len, int msgs,
+                                           const gm::ClusterConfig& base = {}) {
+  if (msgs < 6) msgs = 6;  // rate needs a window past pipeline fill
+  gm::ClusterConfig cc = base;
+  cc.nodes = 2;
+  cc.mode = mode;
+  cc.host_mem_bytes = 48u << 20;
+  gm::Cluster cluster(cc);
+  auto& a = cluster.node(0).open_port(2);
+  auto& b = cluster.node(1).open_port(2);
+
+  fi::StreamWorkload::Config wc;
+  wc.total_msgs = msgs;
+  wc.msg_len = len;
+  wc.recv_buffers = 12;
+  wc.max_in_flight = 12;
+  fi::StreamWorkload ab(a, b, wc);
+  fi::StreamWorkload ba(b, a, wc);
+  cluster.run_for(sim::usec(900));
+
+  // Timestamps of deliveries in the a->b direction.
+  sim::Time first = 0, last = 0;
+  std::uint64_t bytes = 0;
+  b.set_receive_handler([&](const gm::RecvInfo& info) {
+    if (first == 0) first = cluster.eq().now();
+    last = cluster.eq().now();
+    bytes += info.len;
+    b.provide_receive_buffer(info.buffer);
+  });
+  // NOTE: StreamWorkload::start() installs its own handler; install ours
+  // after start() so measurement wins but re-providing still happens here.
+  ab.start();
+  ba.start();
+  b.set_receive_handler([&](const gm::RecvInfo& info) {
+    if (first == 0) first = cluster.eq().now();
+    last = cluster.eq().now();
+    bytes += info.len;
+    b.provide_receive_buffer(info.buffer);
+  });
+
+  const sim::Time busy0 = cluster.node(0).mcp().busy_ns();
+  const sim::Time t_start = cluster.eq().now();
+  // Enough time for the slowest size; loop in chunks with early exit.
+  for (int i = 0; i < 400; ++i) {
+    cluster.run_for(sim::msec(5));
+    if (ab.received() >= msgs && ba.received() >= msgs) break;
+  }
+  BandwidthResult res;
+  if (last > first && bytes > 0) {
+    // Skip the first delivery (pipeline fill) when computing the rate.
+    res.mb_per_s = metrics::bandwidth_mb_per_s(bytes, first, last);
+  }
+  const sim::Time elapsed = cluster.eq().now() - t_start;
+  if (elapsed > 0) {
+    res.lanai_busy_frac =
+        static_cast<double>(cluster.node(0).mcp().busy_ns() - busy0) /
+        static_cast<double>(elapsed);
+  }
+  return res;
+}
+
+/// Unidirectional run capturing host utilization per message.
+struct HostUtilResult {
+  double send_us_per_msg = 0;
+  double recv_us_per_msg = 0;
+  double lanai_us_per_msg = 0;
+};
+
+inline HostUtilResult run_host_util(mcp::McpMode mode, std::uint32_t len,
+                                    int msgs) {
+  gm::ClusterConfig cc;
+  cc.nodes = 2;
+  cc.mode = mode;
+  gm::Cluster cluster(cc);
+  auto& tx = cluster.node(0).open_port(2);
+  auto& rx = cluster.node(1).open_port(3);
+  fi::StreamWorkload::Config wc;
+  wc.total_msgs = msgs;
+  wc.msg_len = len;
+  fi::StreamWorkload wl(tx, rx, wc);
+  cluster.run_for(sim::usec(900));
+  wl.start();
+  for (int i = 0; i < 100 && !wl.complete(); ++i) {
+    cluster.run_for(sim::msec(2));
+  }
+  HostUtilResult r;
+  if (wl.complete()) {
+    r.send_us_per_msg = sim::to_usec(tx.stats().send_cpu_ns) / msgs;
+    r.recv_us_per_msg = sim::to_usec(rx.stats().recv_cpu_ns) / msgs;
+    r.lanai_us_per_msg = sim::to_usec(cluster.node(0).mcp().busy_ns() +
+                                      cluster.node(1).mcp().busy_ns()) /
+                         msgs;
+  }
+  return r;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace myri::bench

@@ -1,0 +1,45 @@
+// Extension experiment: fault injection into the MCP's DATA segment
+// (send/TX descriptors + payload staging), contrasted with the paper's
+// code-segment campaign. The paper anticipates this: "Surely, these
+// results could be different if fault injection is carried out on some
+// other section of the code."
+//
+// Data flips are transient by nature — the next fragment rewrites the
+// descriptor, and staging slots are refilled by DMA — so hangs all but
+// vanish and the distribution shifts toward silent corruption / no impact.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "faultinject/campaign.hpp"
+
+using namespace myri;
+
+int main() {
+  bench::print_header(
+      "Extension -- injection target: send_chunk code vs MCP data segment");
+
+  fi::CampaignConfig code_cfg;
+  code_cfg.runs = bench::scaled(500);
+  code_cfg.seed = 31337;
+  fi::CampaignConfig data_cfg = code_cfg;
+  data_cfg.target = fi::InjectTarget::kDataSegment;
+
+  const fi::CampaignSummary code = fi::Campaign(code_cfg).run();
+  std::fprintf(stderr, "  code-segment campaign done\n");
+  const fi::CampaignSummary data = fi::Campaign(data_cfg).run();
+
+  std::printf("%-24s %14s %14s\n", "Failure Category", "code segment",
+              "data segment");
+  for (int i = 0; i < fi::kNumOutcomes; ++i) {
+    const auto o = static_cast<fi::Outcome>(i);
+    std::printf("%-24s %13.1f%% %13.1f%%\n", to_string(o), code.pct(o),
+                data.pct(o));
+  }
+  std::printf("\n(%d runs per target)\n", code.runs);
+  std::printf("Claim check: code flips are persistent (every send re-executes "
+              "them),\nso they hang or corrupt repeatedly; data flips are "
+              "overwritten by the\nnext descriptor/DMA, so the processor "
+              "almost never hangs and most flips\nare harmless or corrupt at "
+              "most one message.\n");
+  return 0;
+}

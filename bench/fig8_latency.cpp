@@ -1,0 +1,47 @@
+// Figure 8: point-to-point half-round-trip latency vs message length,
+// GM vs FTGM. Measured as a repetitive ping-pong, one-way latency = half
+// the mean RTT (the paper's methodology). Short-message latency averaged
+// over 1..100 bytes reproduces the headline 11.5 us (GM) vs 13.0 us (FTGM).
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+
+using namespace myri;
+
+int main() {
+  bench::print_header(
+      "Figure 8 -- Half round-trip latency vs message length (us)");
+
+  const std::vector<std::uint32_t> sizes = {1,    8,    32,   100,  256,
+                                            512,  1024, 2048, 4096, 8192,
+                                            16384, 65536};
+  const int iters = bench::scaled(60);
+
+  std::printf("%10s %12s %12s %12s\n", "bytes", "GM us", "FTGM us",
+              "delta us");
+  for (const std::uint32_t len : sizes) {
+    const auto gm = bench::run_ping_pong(mcp::McpMode::kGm, len, iters);
+    const auto ft = bench::run_ping_pong(mcp::McpMode::kFtgm, len, iters);
+    std::printf("%10u %12.2f %12.2f %12.2f\n", len, gm.half_rtt.mean_us(),
+                ft.half_rtt.mean_us(),
+                ft.half_rtt.mean_us() - gm.half_rtt.mean_us());
+  }
+
+  // Short-message average, 1..100 bytes (paper's headline metric).
+  double gm_sum = 0, ft_sum = 0;
+  int n = 0;
+  for (const std::uint32_t len : {1u, 25u, 50u, 75u, 100u}) {
+    gm_sum += bench::run_ping_pong(mcp::McpMode::kGm, len, iters)
+                  .half_rtt.mean_us();
+    ft_sum += bench::run_ping_pong(mcp::McpMode::kFtgm, len, iters)
+                  .half_rtt.mean_us();
+    ++n;
+  }
+  std::printf("\nShort-message latency (1..100 B avg):  GM %.1f us  FTGM %.1f us"
+              "  (overhead %.1f us)\n",
+              gm_sum / n, ft_sum / n, (ft_sum - gm_sum) / n);
+  std::printf("Paper:                                 GM 11.5 us  FTGM 13.0 us"
+              "  (overhead 1.5 us)\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Table 2: the paper's summary comparison of GM vs FTGM across the three
+// principal network metrics plus LANai occupancy.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace myri;
+
+int main() {
+  bench::print_header("Table 2 -- Performance metrics: GM vs FTGM");
+
+  const int iters = bench::scaled(60);
+
+  // Bandwidth: asymptotic value for 1 MB messages (Fig 7 saturation).
+  const auto bw_gm =
+      bench::run_bandwidth_bidir(mcp::McpMode::kGm, 1u << 20,
+                                 bench::scaled(24));
+  const auto bw_ft =
+      bench::run_bandwidth_bidir(mcp::McpMode::kFtgm, 1u << 20,
+                                 bench::scaled(24));
+
+  // Latency: short-message average over 1..100 bytes.
+  double lat_gm = 0, lat_ft = 0;
+  int n = 0;
+  for (const std::uint32_t len : {1u, 25u, 50u, 75u, 100u}) {
+    lat_gm += bench::run_ping_pong(mcp::McpMode::kGm, len, iters)
+                  .half_rtt.mean_us();
+    lat_ft += bench::run_ping_pong(mcp::McpMode::kFtgm, len, iters)
+                  .half_rtt.mean_us();
+    ++n;
+  }
+  lat_gm /= n;
+  lat_ft /= n;
+
+  // Host utilization and LANai occupancy: unidirectional small messages.
+  const auto hu_gm =
+      bench::run_host_util(mcp::McpMode::kGm, 64, bench::scaled(300));
+  const auto hu_ft =
+      bench::run_host_util(mcp::McpMode::kFtgm, 64, bench::scaled(300));
+
+  std::printf("%-22s %10s %10s %14s %14s\n", "Metric", "GM", "FTGM",
+              "paper GM", "paper FTGM");
+  std::printf("%-22s %8.1fMB/s %7.1fMB/s %12s %13s\n", "Bandwidth",
+              bw_gm.mb_per_s, bw_ft.mb_per_s, "92.4MB/s", "92.0MB/s");
+  std::printf("%-22s %8.1fus %9.1fus %12s %13s\n", "Latency", lat_gm, lat_ft,
+              "11.5us", "13.0us");
+  std::printf("%-22s %8.2fus %9.2fus %12s %13s\n", "Host util. (send)",
+              hu_gm.send_us_per_msg, hu_ft.send_us_per_msg, "0.30us",
+              "0.55us");
+  std::printf("%-22s %8.2fus %9.2fus %12s %13s\n", "Host util. (recv)",
+              hu_gm.recv_us_per_msg, hu_ft.recv_us_per_msg, "0.75us",
+              "1.15us");
+  std::printf("%-22s %8.2fus %9.2fus %12s %13s\n", "LANai util.",
+              hu_gm.lanai_us_per_msg, hu_ft.lanai_us_per_msg, "6.0us",
+              "6.8us");
+  std::printf("\nClaim check: ~%.1f us total normal-operation latency "
+              "overhead for FTGM\n(paper: ~1.5 us), with no bandwidth loss.\n",
+              lat_ft - lat_gm);
+  return 0;
+}

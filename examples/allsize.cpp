@@ -1,0 +1,31 @@
+// allsize: a port of GM's gm_allsize-style performance utility.
+//
+// Sweeps message sizes and reports one-way latency and sustained
+// bidirectional bandwidth for the mode given on the command line
+// ("gm" or "ftgm", default ftgm) — the same measurements behind the
+// paper's Figures 7 and 8, packaged as a user tool.
+#include <cstdio>
+#include <cstring>
+
+#include "bench/common.hpp"
+
+using namespace myri;
+
+int main(int argc, char** argv) {
+  mcp::McpMode mode = mcp::McpMode::kFtgm;
+  if (argc > 1 && std::strcmp(argv[1], "gm") == 0) {
+    mode = mcp::McpMode::kGm;
+  }
+  std::printf("allsize (%s)\n",
+              mode == mcp::McpMode::kGm ? "GM baseline" : "FTGM");
+  std::printf("%10s %14s %16s\n", "bytes", "latency (us)",
+              "bandwidth (MB/s)");
+  for (std::uint32_t len = 1; len <= (1u << 20); len *= 4) {
+    const auto pp = bench::run_ping_pong(mode, len, 30);
+    const auto bw = bench::run_bandwidth_bidir(
+        mode, len, len >= (1u << 18) ? 12 : 40);
+    std::printf("%10u %14.2f %16.2f\n", len, pp.half_rtt.mean_us(),
+                bw.mb_per_s);
+  }
+  return 0;
+}

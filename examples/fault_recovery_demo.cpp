@@ -1,0 +1,79 @@
+// Fault-recovery demo: the paper's headline scenario, narrated.
+//
+// A bulk transfer is running when the sender's network processor hangs
+// (as a cosmic-ray bit flip in the MCP would cause). Watch the IT1 software
+// watchdog fire, the FTD confirm the hang and rebuild the card, and the
+// library's FAULT_DETECTED handler restore the port — while the
+// application code below remains completely oblivious: it just sees all
+// of its sends complete and all messages arrive exactly once.
+#include <cstdio>
+
+#include "faultinject/workload.hpp"
+#include "gm/cluster.hpp"
+
+using namespace myri;
+
+int main() {
+  gm::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.mode = mcp::McpMode::kFtgm;
+  gm::Cluster cluster(cfg);
+
+  gm::Port& tx = cluster.node(0).open_port(2);
+  gm::Port& rx = cluster.node(1).open_port(3);
+
+  // A verified 60-message transfer (the "application").
+  fi::StreamWorkload::Config wc;
+  wc.total_msgs = 60;
+  wc.msg_len = 8192;
+  fi::StreamWorkload transfer(tx, rx, wc);
+
+  cluster.run_for(sim::usec(900));
+  transfer.start();
+  std::printf("[%8.0f us] transfer started (60 x 8 KB, verified)\n",
+              sim::to_usec(cluster.eq().now()));
+
+  // Crash the sender's network processor mid-transfer.
+  cluster.eq().schedule_after(sim::usec(150), [&] {
+    cluster.node(0).ftd().mark_fault_injected();
+    cluster.node(0).mcp().inject_hang("cosmic ray in the LANai");
+    std::printf("[%8.0f us] !!! sender NIC processor hung (%d/60 delivered "
+                "so far)\n",
+                sim::to_usec(cluster.eq().now()), transfer.received());
+  });
+
+  sim::Time recovered_at = 0;
+  tx.set_on_recovered([&] {
+    recovered_at = cluster.eq().now();
+    std::printf("[%8.0f us] port recovered: tokens, sequence numbers and "
+                "ACK table restored; unacknowledged sends replayed\n",
+                sim::to_usec(recovered_at));
+  });
+
+  cluster.run_for(sim::sec(4));
+
+  const auto& ph = cluster.node(0).ftd().phases();
+  std::printf("[%8.0f us] IT1 watchdog expired -> FATAL interrupt\n",
+              sim::to_usec(ph.interrupt_raised));
+  std::printf("[%8.0f us] FTD woken; magic-word probe confirmed the hang\n",
+              sim::to_usec(ph.confirmed));
+  std::printf("[%8.0f us] card reset, SRAM cleared, MCP reloaded\n",
+              sim::to_usec(ph.mcp_reloaded));
+  std::printf("[%8.0f us] page hash + routes restored, FAULT_DETECTED "
+              "posted\n",
+              sim::to_usec(ph.events_posted));
+
+  std::printf("\n=== outcome ===\n");
+  std::printf("messages delivered: %d/60  duplicates: %d  corrupted: %d\n",
+              transfer.received(), transfer.duplicates(),
+              transfer.corrupted());
+  std::printf("sends completed:    %d/60  (every callback eventually fired)\n",
+              transfer.sent_ok());
+  std::printf("recoveries on the sender port: %llu\n",
+              static_cast<unsigned long long>(tx.recoveries()));
+  std::printf("detection %.0f us after the fault; full recovery %.2f s "
+              "(paper: < 2 s)\n",
+              sim::to_usec(ph.woken - ph.fault_injected),
+              sim::to_sec(recovered_at - ph.fault_injected));
+  return transfer.complete() ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+// Quickstart: two nodes on a Myrinet switch exchange a message over FTGM.
+//
+// Shows the GM programming model end to end: open ports, allocate pinned
+// DMA buffers, provide a receive buffer, send with a completion callback,
+// and poll the receive queue (here: a receive handler driven by the event
+// pump). Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <cstring>
+
+#include "gm/cluster.hpp"
+
+using namespace myri;
+
+int main() {
+  // A 2-node cluster on one 8-port switch, running the fault-tolerant GM.
+  gm::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.mode = mcp::McpMode::kFtgm;
+  gm::Cluster cluster(cfg);
+
+  // gm_open() on both nodes (port ids 2 and 4, two of the 8 per node).
+  gm::Port& sender = cluster.node(0).open_port(2);
+  gm::Port& receiver = cluster.node(1).open_port(4);
+
+  // Port opens travel through the MCP's L_timer control path; give the
+  // virtual cluster a moment to process them.
+  cluster.run_for(sim::usec(900));
+
+  // Receiver: pinned buffer + receive token, and a handler.
+  gm::Buffer rbuf = receiver.alloc_dma_buffer(256);
+  receiver.provide_receive_buffer(rbuf);
+  receiver.set_receive_handler([&](const gm::RecvInfo& info) {
+    auto bytes = receiver.node().memory().at(info.buffer.addr, info.len);
+    std::printf("[node1] received %u bytes from node %u port %u: \"%s\"\n",
+                info.len, info.src, info.src_port,
+                reinterpret_cast<const char*>(bytes.data()));
+  });
+
+  // Sender: fill a pinned buffer and send with a callback.
+  const char msg[] = "hello, Myrinet!";
+  gm::Buffer sbuf = sender.alloc_dma_buffer(256);
+  cluster.node(0).memory().write(
+      sbuf.addr, std::as_bytes(std::span(msg, sizeof(msg))));
+  sender.send_with_callback(
+      sbuf, sizeof(msg), /*dst=*/1, /*dst_port=*/4, /*priority=*/0,
+      [&](bool ok) {
+        std::printf("[node0] send %s (token returned to the process)\n",
+                    ok ? "complete" : "FAILED");
+      });
+
+  cluster.run_for(sim::msec(2));
+
+  std::printf("\nvirtual time elapsed: %.1f us\n",
+              sim::to_usec(cluster.eq().now()));
+  std::printf("one-way data path: gm_send -> PCI -> LANai (send_chunk) -> "
+              "wire -> LANai -> DMA -> event queue\n");
+  return 0;
+}

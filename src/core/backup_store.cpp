@@ -1,0 +1,21 @@
+#include "core/backup_store.hpp"
+
+#include <algorithm>
+
+namespace myri::core {
+
+void BackupStore::remove_send(std::uint32_t token_id) {
+  auto it = std::find_if(
+      sends_.begin(), sends_.end(),
+      [&](const mcp::SendRequest& r) { return r.token_id == token_id; });
+  if (it != sends_.end()) sends_.erase(it);
+}
+
+void BackupStore::remove_recv(std::uint32_t token_id) {
+  auto it = std::find_if(
+      recvs_.begin(), recvs_.end(),
+      [&](const mcp::RecvToken& t) { return t.token_id == token_id; });
+  if (it != recvs_.end()) recvs_.erase(it);
+}
+
+}  // namespace myri::core

@@ -1,0 +1,107 @@
+// Host-side backup of the network-interface state a port depends on.
+//
+// This is the paper's central idea (Section 4.1): instead of periodic
+// checkpoints, the process continuously keeps copies of exactly the state
+// the LANai holds on its behalf —
+//   * every send token handed to the LANai (removed just before the send
+//     callback runs),
+//   * every receive token handed to the LANai (removed when the matching
+//     message is received),
+//   * the per-(destination, port)-stream sequence-number generators (the
+//     host, not the MCP, numbers messages in FTGM), and
+//   * the ACK-number table: the last sequence number received on each
+//     incoming stream, kept current from RECV events.
+// After a NIC failure, the FAULT_DETECTED handler replays this store into
+// the reloaded MCP, which is sufficient for exactly-once delivery across
+// the failure.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "mcp/types.hpp"
+#include "net/packet.hpp"
+
+namespace myri::core {
+
+class BackupStore {
+ public:
+  // ---- send-token copies ----
+  void add_send(const mcp::SendRequest& req) { sends_.push_back(req); }
+
+  /// Remove the copy for `token_id`; call just before the send callback.
+  void remove_send(std::uint32_t token_id);
+
+  /// Outstanding (unacknowledged) sends, in original post order — the
+  /// order matters: recovery re-posts them with their original sequence
+  /// numbers, which must be contiguous per stream.
+  [[nodiscard]] const std::deque<mcp::SendRequest>& sends() const {
+    return sends_;
+  }
+
+  // ---- receive-token copies ----
+  void add_recv(const mcp::RecvToken& tok) { recvs_.push_back(tok); }
+  void remove_recv(std::uint32_t token_id);
+  [[nodiscard]] const std::deque<mcp::RecvToken>& recvs() const {
+    return recvs_;
+  }
+
+  // ---- host-generated sequence numbers (per destination stream) ----
+  /// Allocate `nfrags` contiguous sequence numbers for a message to `dst`;
+  /// returns the first.
+  std::uint32_t alloc_seq_block(net::NodeId dst, std::uint32_t nfrags) {
+    std::uint32_t& next = seq_gen_[dst];
+    const std::uint32_t first = next;
+    next += nfrags;
+    return first;
+  }
+  [[nodiscard]] std::uint32_t next_seq(net::NodeId dst) const {
+    auto it = seq_gen_.find(dst);
+    return it == seq_gen_.end() ? 0 : it->second;
+  }
+
+  // ---- ACK-number table (receiver side) ----
+  /// Record that the message ending at `seq` on (peer, stream) reached the
+  /// process (driven by RECV events, which carry the sequence number).
+  void note_recv_seq(net::NodeId peer, std::uint32_t stream,
+                     std::uint32_t seq) {
+    auto [it, fresh] = ack_table_.try_emplace(mcp::stream_key(peer, stream),
+                                              AckEntry{peer, stream, seq});
+    if (!fresh && seq + 1 > it->second.last_seq + 1) it->second.last_seq = seq;
+  }
+  struct AckEntry {
+    net::NodeId peer;
+    std::uint32_t stream;
+    std::uint32_t last_seq;
+  };
+  [[nodiscard]] const std::map<std::uint64_t, AckEntry>& ack_table() const {
+    return ack_table_;
+  }
+
+  // ---- sizing (the paper reports ~20 KB extra virtual memory) ----
+  [[nodiscard]] std::size_t send_count() const { return sends_.size(); }
+  [[nodiscard]] std::size_t recv_count() const { return recvs_.size(); }
+  [[nodiscard]] std::size_t approx_bytes() const {
+    return sends_.size() * sizeof(mcp::SendRequest) +
+           recvs_.size() * sizeof(mcp::RecvToken) +
+           ack_table_.size() * sizeof(AckEntry) +
+           seq_gen_.size() * sizeof(std::uint64_t);
+  }
+
+  void clear() {
+    sends_.clear();
+    recvs_.clear();
+    ack_table_.clear();
+    seq_gen_.clear();
+  }
+
+ private:
+  std::deque<mcp::SendRequest> sends_;
+  std::deque<mcp::RecvToken> recvs_;
+  std::map<std::uint64_t, AckEntry> ack_table_;
+  std::map<net::NodeId, std::uint32_t> seq_gen_;
+};
+
+}  // namespace myri::core

@@ -1,0 +1,65 @@
+#include "core/driver.hpp"
+
+#include "mcp/sram_layout.hpp"
+
+namespace myri::core {
+
+Driver::Driver(lanai::Nic& nic, mcp::Mcp& mcp, host::InterruptController& irq,
+               host::TimingConfig timing)
+    : nic_(nic), mcp_(mcp), irq_(irq), timing_(timing) {}
+
+void Driver::install(mcp::HostIface* host_iface) {
+  host_iface_ = host_iface;
+  irq_.set_handler(host::IrqLine::kFatal, [this] {
+    ++fatals_;
+    // Acknowledge the level-triggered source (write-1-to-clear IT1) so
+    // unrelated ISR activity does not re-raise FATAL while the FTD works.
+    nic_.clear_isr_bits(lanai::kIsrIt1);
+    if (wake_ftd_) wake_ftd_();
+  });
+  mcp_.set_host(host_iface_);
+  mcp_.load();
+  mcp_.host_register_page_hash();
+}
+
+void Driver::record_routes(const std::vector<net::RouteEntry>& entries) {
+  for (const auto& e : entries) routes_[e.dst] = e.route;
+}
+
+void Driver::install_route(net::NodeId dst, std::vector<std::uint8_t> route) {
+  routes_[dst] = route;
+  nic_.set_route(dst, std::move(route));
+}
+
+void Driver::write_magic(std::uint32_t value) {
+  nic_.sram().write32(mcp::SramLayout::kMagicAddr, value);
+}
+
+std::uint32_t Driver::read_magic() const {
+  return const_cast<lanai::Nic&>(nic_).sram().read32(
+      mcp::SramLayout::kMagicAddr);
+}
+
+void Driver::disable_interrupts_and_reset() {
+  // Unmap IO + card reset: registers, timers, DMA engine, RX queue and the
+  // on-card route table return to power-on state.
+  nic_.reset();
+}
+
+void Driver::clear_sram() { nic_.sram().clear(); }
+
+void Driver::reload_mcp() {
+  mcp_.set_host(host_iface_);
+  mcp_.load();
+}
+
+void Driver::restart_dma_and_interrupts() {
+  // DMA engine restart is implicit in Nic::reset(); nothing extra to do in
+  // the model beyond re-enabling the IMR path, which mcp_.load() configured.
+}
+
+void Driver::restore_routes() {
+  for (const auto& [dst, route] : routes_) nic_.set_route(dst, route);
+}
+
+}  // namespace myri::core

@@ -1,0 +1,83 @@
+// GM host device driver.
+//
+// Kernel-side glue between the host and the card (paper Section 2): loads
+// the MCP, opens/closes ports, registers the page hash table, keeps the
+// host-side mirror of the routing tables, and fields the FATAL interrupt
+// that the watchdog raises, waking the fault-tolerance daemon. The actual
+// recovery never runs in interrupt context (the paper's point about
+// sleep()/malloc()): the handler only wakes the FTD.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "host/host_memory.hpp"
+#include "host/interrupts.hpp"
+#include "host/timing.hpp"
+#include "lanai/nic.hpp"
+#include "mcp/mcp.hpp"
+#include "net/map_info.hpp"
+
+namespace myri::core {
+
+class Driver {
+ public:
+  Driver(lanai::Nic& nic, mcp::Mcp& mcp, host::InterruptController& irq,
+         host::TimingConfig timing);
+
+  /// Initial driver load: program node identity, load the MCP, register
+  /// the page hash table, hook the FATAL interrupt line.
+  void install(mcp::HostIface* host_iface);
+
+  /// Handler invoked (in "process context") when the FATAL interrupt
+  /// fires; the FTD registers itself here.
+  void set_fatal_handler(std::function<void()> wake) {
+    wake_ftd_ = std::move(wake);
+  }
+
+  // ---- host-side routing-table mirror ----
+  void record_routes(const std::vector<net::RouteEntry>& entries);
+  /// Install a route on the card and mirror it (tests/benches use this to
+  /// configure small fabrics without running the full mapper).
+  void install_route(net::NodeId dst, std::vector<std::uint8_t> route);
+  [[nodiscard]] const std::unordered_map<net::NodeId,
+                                         std::vector<std::uint8_t>>&
+  route_mirror() const {
+    return routes_;
+  }
+
+  // ---- port management (forwarded to the MCP control path) ----
+  void open_port(std::uint8_t port) { mcp_.host_open_port(port); }
+  void close_port(std::uint8_t port) { mcp_.host_close_port(port); }
+
+  // ---- FTD-facing card operations (state changes; the FTD accounts the
+  //      time each step takes using RecoveryTiming) ----
+  void write_magic(std::uint32_t value);
+  [[nodiscard]] std::uint32_t read_magic() const;
+  void disable_interrupts_and_reset();
+  void clear_sram();
+  void reload_mcp();
+  void restart_dma_and_interrupts();
+  void register_page_hash() { mcp_.host_register_page_hash(); }
+  void restore_routes();
+
+  [[nodiscard]] mcp::Mcp& mcp() noexcept { return mcp_; }
+  [[nodiscard]] lanai::Nic& nic() noexcept { return nic_; }
+  [[nodiscard]] std::uint64_t fatal_interrupts() const noexcept {
+    return fatals_;
+  }
+
+ private:
+  lanai::Nic& nic_;
+  mcp::Mcp& mcp_;
+  host::InterruptController& irq_;
+  host::TimingConfig timing_;
+  mcp::HostIface* host_iface_ = nullptr;
+  std::function<void()> wake_ftd_;
+  std::unordered_map<net::NodeId, std::vector<std::uint8_t>> routes_;
+  std::uint64_t fatals_ = 0;
+};
+
+}  // namespace myri::core

@@ -1,0 +1,123 @@
+#include "faultinject/workload.hpp"
+
+namespace myri::fi {
+
+StreamWorkload::StreamWorkload(gm::Port& sender, gm::Port& receiver,
+                               Config cfg)
+    : sender_(sender), receiver_(receiver), cfg_(cfg) {
+  recv_count_.assign(static_cast<std::size_t>(cfg_.total_msgs), 0);
+}
+
+void StreamWorkload::start() {
+  started_ = true;
+  // Receiver side: post buffers and verify arrivals.
+  for (int i = 0; i < cfg_.recv_buffers; ++i) {
+    gm::Buffer b = receiver_.alloc_dma_buffer(cfg_.msg_len);
+    receiver_.provide_receive_buffer(b, cfg_.priority);
+  }
+  receiver_.set_receive_handler([this](const gm::RecvInfo& info) {
+    verify(info);
+    // Zero-copy discipline: hand the buffer straight back.
+    receiver_.provide_receive_buffer(info.buffer, cfg_.priority);
+  });
+
+  // Sender side: one pinned buffer per in-flight slot.
+  for (int i = 0; i < cfg_.max_in_flight; ++i) {
+    send_bufs_.push_back(sender_.alloc_dma_buffer(cfg_.msg_len));
+    slot_busy_.push_back(false);
+  }
+  pump_sends();
+}
+
+void StreamWorkload::fill(const gm::Buffer& buf, int msg) {
+  auto span = sender_.node().memory().at(buf.addr, cfg_.msg_len);
+  for (std::uint32_t j = 0; j < span.size(); ++j) {
+    span[j] = pattern(msg, j);
+  }
+  // Message index in the first 4 bytes (still matches pattern() in checks
+  // below because verify() decodes it first).
+  if (span.size() >= 4) {
+    span[0] = static_cast<std::byte>(msg & 0xff);
+    span[1] = static_cast<std::byte>((msg >> 8) & 0xff);
+    span[2] = static_cast<std::byte>((msg >> 16) & 0xff);
+    span[3] = static_cast<std::byte>((msg >> 24) & 0xff);
+  }
+}
+
+void StreamWorkload::pump_sends() {
+  while (next_msg_ < cfg_.total_msgs) {
+    // Find a free slot.
+    int slot = -1;
+    for (std::size_t i = 0; i < slot_busy_.size(); ++i) {
+      if (!slot_busy_[i]) {
+        slot = static_cast<int>(i);
+        break;
+      }
+    }
+    if (slot < 0) return;  // all slots in flight; resume on a callback
+    const int msg = next_msg_;
+    fill(send_bufs_[static_cast<std::size_t>(slot)], msg);
+    const bool ok = sender_.send_with_callback(
+        send_bufs_[static_cast<std::size_t>(slot)], cfg_.msg_len,
+        receiver_.node().id(), receiver_.id(), cfg_.priority,
+        [this, slot](bool success) {
+          slot_busy_[static_cast<std::size_t>(slot)] = false;
+          if (success) {
+            ++sent_ok_;
+          } else {
+            ++send_failures_;
+          }
+          pump_sends();
+        });
+    if (!ok) return;  // out of send tokens; resume on a callback
+    slot_busy_[static_cast<std::size_t>(slot)] = true;
+    ++next_msg_;
+  }
+}
+
+void StreamWorkload::verify(const gm::RecvInfo& info) {
+  ++received_;
+  auto span = receiver_.node().memory().at(info.buffer.addr, info.len);
+  if (span.size() < 4 || info.len != cfg_.msg_len) {
+    ++corrupted_;
+    return;
+  }
+  const int msg = std::to_integer<int>(span[0]) |
+                  std::to_integer<int>(span[1]) << 8 |
+                  std::to_integer<int>(span[2]) << 16 |
+                  std::to_integer<int>(span[3]) << 24;
+  if (msg < 0 || msg >= cfg_.total_msgs) {
+    ++corrupted_;
+    return;
+  }
+  bool ok = true;
+  for (std::uint32_t j = 4; j < span.size(); ++j) {
+    if (span[j] != pattern(msg, j)) {
+      ok = false;
+      break;
+    }
+  }
+  if (!ok) {
+    ++corrupted_;
+    return;
+  }
+  if (++recv_count_[static_cast<std::size_t>(msg)] > 1) ++duplicates_;
+}
+
+int StreamWorkload::missing() const {
+  int n = 0;
+  for (int c : recv_count_) {
+    if (c == 0) ++n;
+  }
+  return n;
+}
+
+bool StreamWorkload::complete() const {
+  if (!started_) return false;
+  for (int c : recv_count_) {
+    if (c != 1) return false;
+  }
+  return corrupted_ == 0;
+}
+
+}  // namespace myri::fi

@@ -1,0 +1,70 @@
+// Verified streaming workload for fault experiments.
+//
+// A sender port streams numbered, patterned messages to a receiver port;
+// the receiver checks every byte and counts exact-once delivery. The
+// workload is the oracle the fault-injection campaign classifies against:
+// content mismatches => "messages corrupted", missing messages =>
+// "other errors", double delivery => duplicates (must never survive FTGM
+// recovery).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gm/node.hpp"
+#include "gm/port.hpp"
+
+namespace myri::fi {
+
+class StreamWorkload {
+ public:
+  struct Config {
+    int total_msgs = 30;
+    std::uint32_t msg_len = 2048;
+    std::uint8_t priority = 0;
+    int recv_buffers = 16;
+    int max_in_flight = 8;
+  };
+
+  StreamWorkload(gm::Port& sender, gm::Port& receiver, Config cfg);
+
+  /// Allocate buffers, arm the receiver, begin streaming.
+  void start();
+
+  // ---- outcome counters ----
+  [[nodiscard]] int sent_ok() const noexcept { return sent_ok_; }
+  [[nodiscard]] int send_failures() const noexcept { return send_failures_; }
+  [[nodiscard]] int received() const noexcept { return received_; }
+  [[nodiscard]] int corrupted() const noexcept { return corrupted_; }
+  [[nodiscard]] int duplicates() const noexcept { return duplicates_; }
+  [[nodiscard]] int missing() const;
+  /// Every message received exactly once with correct contents.
+  [[nodiscard]] bool complete() const;
+
+  /// Expected byte at position j of message i.
+  static std::byte pattern(int msg, std::uint32_t j) {
+    return static_cast<std::byte>((msg * 131 + static_cast<int>(j) * 31 + 7) &
+                                  0xff);
+  }
+
+ private:
+  void pump_sends();
+  void fill(const gm::Buffer& buf, int msg);
+  void verify(const gm::RecvInfo& info);
+
+  gm::Port& sender_;
+  gm::Port& receiver_;
+  Config cfg_;
+  std::vector<gm::Buffer> send_bufs_;   // one per in-flight slot
+  std::vector<bool> slot_busy_;
+  std::vector<int> recv_count_;         // per message index
+  int next_msg_ = 0;
+  int sent_ok_ = 0;
+  int send_failures_ = 0;
+  int received_ = 0;
+  int corrupted_ = 0;
+  int duplicates_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace myri::fi

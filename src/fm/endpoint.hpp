@@ -1,0 +1,106 @@
+// A miniature Fast Messages (FM)-style layer: the comparator protocol the
+// paper names when discussing host-CPU overhead (Section 5.1: "This factor
+// is most predominant in protocols employing a host-level credit scheme
+// for flow control, such as FM").
+//
+// FM's design points, modelled here on top of the same GM substrate:
+//  * handler-carrying messages: the sender names a handler id; the
+//    receiving host runs the registered handler on arrival;
+//  * host-level credit flow control: a sender must hold a credit for the
+//    receiver's bounce-buffer pool before sending; the receiving host
+//    returns credits explicitly once buffers are drained;
+//  * no zero-copy: payloads are copied by the host into a pinned send
+//    region on the way out and copied out of the bounce region on the way
+//    in, charging host CPU proportional to message size.
+//
+// Because it sits on the unmodified GM/FTGM API, FM inherits FTGM's NIC
+// fault tolerance for free — the paper's closing argument that "all these
+// protocols can stand to gain from such a scheme".
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "gm/node.hpp"
+#include "gm/port.hpp"
+
+namespace myri::fm {
+
+struct EndpointStats {
+  std::uint64_t sends = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t credit_stalls = 0;    // sends deferred for lack of credit
+  std::uint64_t credit_returns = 0;   // credit-return messages sent
+  sim::Time copy_cpu_ns = 0;          // host CPU burnt copying payloads
+};
+
+class Endpoint {
+ public:
+  struct Config {
+    std::uint8_t gm_port = 7;
+    int credits_per_peer = 8;      // receiver bounce buffers per sender
+    std::uint32_t buf_size = 2048; // FM packet/bounce-buffer size
+    /// Host memcpy throughput for the copy-in/copy-out cost (a 2003-class
+    /// host sustains a few hundred MB/s through the cache hierarchy).
+    double copy_mb_per_s = 300.0;
+    /// Fixed host cost of the credit bookkeeping per send/receive.
+    sim::Time credit_overhead = sim::usecf(0.30);
+    /// Return credits to a sender once this many accumulate.
+    int credit_return_batch = 4;
+  };
+
+  using Handler = std::function<void(net::NodeId src,
+                                     std::span<const std::byte> data)>;
+
+  Endpoint(gm::Node& node, Config cfg);
+
+  /// Register the handler run for messages carrying `handler_id` (0..15).
+  void register_handler(int handler_id, Handler h);
+
+  /// FM-style send: copies `data` into a pinned staging slot and ships it.
+  /// Returns false when no credit (or staging slot) is available right
+  /// now; the message is NOT queued — FM callers retry, typically from
+  /// their own handler loop (use send_or_queue for convenience).
+  bool send(net::NodeId dst, int handler_id, std::span<const std::byte> data);
+
+  /// Convenience: queue internally when out of credits and drain as
+  /// credits return.
+  void send_or_queue(net::NodeId dst, int handler_id,
+                     std::span<const std::byte> data);
+
+  [[nodiscard]] int credits_for(net::NodeId dst) const;
+  [[nodiscard]] const EndpointStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] gm::Port& port() noexcept { return *port_; }
+  [[nodiscard]] net::NodeId node_id() const noexcept { return node_.id(); }
+
+  /// Peers must be introduced before messaging (allocates credit state).
+  void add_peer(net::NodeId peer);
+
+ private:
+  struct Queued {
+    net::NodeId dst;
+    int handler_id;
+    std::vector<std::byte> data;
+  };
+
+  void on_message(const gm::RecvInfo& info);
+  void return_credits(net::NodeId to, int n);
+  void drain_queue();
+  [[nodiscard]] sim::Time copy_cost(std::size_t bytes) const;
+
+  gm::Node& node_;
+  Config cfg_;
+  gm::Port* port_;
+  std::unordered_map<int, Handler> handlers_;
+  std::unordered_map<net::NodeId, int> send_credits_;  // ours, per peer
+  std::unordered_map<net::NodeId, int> owed_credits_;  // to each sender
+  std::vector<gm::Buffer> staging_;                    // free send slots
+  std::deque<Queued> queue_;
+  EndpointStats stats_;
+};
+
+}  // namespace myri::fm

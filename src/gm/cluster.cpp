@@ -1,0 +1,49 @@
+#include "gm/cluster.hpp"
+
+#include <stdexcept>
+
+namespace myri::gm {
+
+Cluster::Cluster(const ClusterConfig& cfg) : rng_(cfg.seed) {
+  if (cfg.nodes < 1 || cfg.nodes > 8) {
+    throw std::invalid_argument("cluster supports 1..8 nodes per switch");
+  }
+  topo_ = std::make_unique<net::Topology>(eq_, rng_);
+  sw_ = topo_->add_switch(8, "sw0");
+
+  for (int i = 0; i < cfg.nodes; ++i) {
+    Node::Config nc;
+    nc.id = static_cast<net::NodeId>(i);
+    nc.mode = cfg.mode;
+    nc.timing = cfg.timing;
+    nc.host_mem_bytes = cfg.host_mem_bytes;
+    nc.send_window = cfg.send_window;
+    nc.rto = cfg.rto;
+    nc.ftgm_delayed_ack = cfg.ftgm_delayed_ack;
+    nodes_.push_back(
+        std::make_unique<Node>(eq_, nc, "node" + std::to_string(i)));
+    nodes_.back()->attach(*topo_, sw_, static_cast<std::uint8_t>(i));
+  }
+  topo_->set_all_faults(cfg.faults);
+
+  if (cfg.install_routes) {
+    // Node i sits on switch port i: the route a->b is the single byte [b].
+    for (int a = 0; a < cfg.nodes; ++a) {
+      for (int b = 0; b < cfg.nodes; ++b) {
+        if (a == b) continue;
+        nodes_[a]->install_route(static_cast<net::NodeId>(b),
+                                 {static_cast<std::uint8_t>(b)});
+      }
+    }
+  }
+  if (cfg.boot) {
+    for (auto& n : nodes_) n->boot();
+  }
+}
+
+void Cluster::set_trace(sim::Trace* t) {
+  topo_->set_trace(t);
+  for (auto& n : nodes_) n->set_trace(t);
+}
+
+}  // namespace myri::gm

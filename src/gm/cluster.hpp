@@ -1,0 +1,62 @@
+// Convenience testbed: an N-node cluster on one Myrinet switch.
+//
+// Mirrors the paper's experimental setup (two hosts on an M3M-SW8 switch)
+// and scales to 8 nodes per switch. Tests, benches and examples build on
+// this; multi-switch fabrics are assembled manually with net::Topology.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gm/node.hpp"
+#include "net/topology.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/trace.hpp"
+
+namespace myri::gm {
+
+struct ClusterConfig {
+  int nodes = 2;
+  mcp::McpMode mode = mcp::McpMode::kGm;
+  host::TimingConfig timing{};
+  std::size_t host_mem_bytes = 8u << 20;
+  std::uint64_t seed = 42;
+  net::LinkFaults faults{};
+  std::uint32_t send_window = 16;
+  sim::Time rto = sim::usec(400);
+  bool ftgm_delayed_ack = true;  // ablation knob (see Mcp::Config)
+  bool install_routes = true;    // direct route setup (skip the mapper)
+  bool boot = true;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& cfg);
+
+  [[nodiscard]] sim::EventQueue& eq() noexcept { return eq_; }
+  [[nodiscard]] sim::Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] net::Topology& topo() noexcept { return *topo_; }
+  [[nodiscard]] Node& node(int i) { return *nodes_.at(i); }
+  [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] std::uint16_t switch_id() const noexcept { return sw_; }
+
+  /// Run the simulation for `d` of virtual time.
+  void run_for(sim::Time d) { eq_.run_until(eq_.now() + d); }
+  /// Run until the event queue drains (bounded against runaway loops).
+  std::size_t run_until_idle(std::size_t max_events = 50'000'000) {
+    return eq_.run(max_events);
+  }
+
+  void set_trace(sim::Trace* t);
+
+ private:
+  sim::EventQueue eq_;
+  sim::Rng rng_;
+  std::unique_ptr<net::Topology> topo_;
+  std::uint16_t sw_ = 0;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace myri::gm

@@ -1,0 +1,345 @@
+#include "gm/port.hpp"
+
+#include "gm/node.hpp"
+
+namespace myri::gm {
+
+Port::Port(Node& node, std::uint8_t id, Config cfg)
+    : node_(node),
+      id_(id),
+      cfg_(cfg),
+      send_tokens_free_(cfg.send_tokens),
+      recv_tokens_free_(cfg.recv_tokens) {}
+
+bool Port::ftgm() const {
+  return node_.config().mode == mcp::McpMode::kFtgm;
+}
+
+Buffer Port::alloc_dma_buffer(std::uint32_t size) {
+  auto addr = node_.alloc_pinned(size);
+  if (!addr) return {};
+  // Register every page of the buffer in the page hash table so the MCP
+  // can translate and DMA it (virtual == DMA address in this model, but
+  // the mapping must exist or the MCP refuses the transfer).
+  for (host::DmaAddr page = *addr / host::kPageSize * host::kPageSize;
+       page < *addr + size; page += host::kPageSize) {
+    node_.page_hash().map(id_, page, page);
+  }
+  return Buffer{*addr, size};
+}
+
+bool Port::send_with_callback(const Buffer& buf, std::uint32_t len,
+                              net::NodeId dst, std::uint8_t dst_port,
+                              std::uint8_t priority, SendCallback cb) {
+  mcp::SendRequest req;
+  req.dst = dst;
+  req.dst_port = dst_port;
+  req.priority = priority;
+  return submit_send(buf, len, std::move(req), std::move(cb));
+}
+
+bool Port::directed_send_with_callback(const Buffer& buf, std::uint32_t len,
+                                       net::NodeId dst, std::uint8_t dst_port,
+                                       std::uint32_t remote_vaddr,
+                                       SendCallback cb,
+                                       std::uint8_t priority) {
+  mcp::SendRequest req;
+  req.dst = dst;
+  req.dst_port = dst_port;
+  req.priority = priority;
+  req.directed = true;
+  req.target_vaddr = remote_vaddr;
+  return submit_send(buf, len, std::move(req), std::move(cb));
+}
+
+bool Port::submit_send(const Buffer& buf, std::uint32_t len,
+                       mcp::SendRequest req, SendCallback cb) {
+  if (!buf.valid() || len > buf.size) return false;
+  if (send_tokens_free_ == 0) return false;
+  --send_tokens_free_;
+  ++stats_.sends_posted;
+  stats_.bytes_sent += len;
+
+  req.port = id_;
+  req.host_addr = buf.addr;
+  req.len = len;
+  req.token_id = next_token_id_++;
+  req.msg_id = next_msg_id_++;
+  const net::NodeId dst = req.dst;
+
+  const auto& t = node_.config().timing;
+  sim::Time cost = t.hostt.send_api_overhead;
+  if (ftgm()) {
+    // Host-generated sequence numbers and the send-token copy: the whole
+    // "continuous checkpointing" cost on the send side (paper: ~0.25 us).
+    const std::uint32_t nfrags =
+        len == 0 ? 1u
+                 : (len + net::kMaxPacketPayload - 1) / net::kMaxPacketPayload;
+    req.seq_first = backup_.alloc_seq_block(dst, nfrags);
+    backup_.add_send(req);
+    cost += t.hostt.ftgm_send_backup;
+    cost += t.hostt.ftgm_seq_sync;  // 0 in the chosen per-port design
+  }
+  if (cb) send_callbacks_[req.token_id] = std::move(cb);
+  stats_.send_cpu_ns += cost;
+
+  // The Node outlives every Port; capture it rather than `this` so a
+  // gm_close between the charge and the PIO cannot dangle.
+  Node* n = &node_;
+  node_.cpu().run(cost, [n, req] {
+    n->pci().pio([n, req] {
+      n->mcp().host_post_send(req);
+      n->nic().ring_doorbell();
+    });
+  });
+  return true;
+}
+
+bool Port::get_with_callback(const Buffer& local, std::uint32_t len,
+                             net::NodeId dst, std::uint8_t dst_port,
+                             std::uint32_t remote_vaddr, SendCallback cb) {
+  if (!local.valid() || len > local.size) return false;
+  mcp::GetRequest g;
+  g.port = id_;
+  g.dst = dst;
+  g.dst_port = dst_port;
+  g.remote_vaddr = remote_vaddr;
+  g.local_vaddr = static_cast<std::uint32_t>(local.addr);
+  g.len = len;
+  g.correlation = next_token_id_++;
+  pending_gets_[g.correlation] = PendingGet{g, std::move(cb), 0};
+  issue_get(g.correlation);
+  return true;
+}
+
+void Port::issue_get(std::uint32_t correlation) {
+  auto it = pending_gets_.find(correlation);
+  if (it == pending_gets_.end()) return;
+  PendingGet& pg = it->second;
+  if (pg.attempts >= 12) {
+    auto cb = std::move(pg.cb);
+    pending_gets_.erase(it);
+    if (cb) cb(false);
+    return;
+  }
+  ++pg.attempts;
+  const mcp::GetRequest req = pg.req;
+  Node* n = &node_;
+  node_.cpu().run(node_.config().timing.hostt.send_api_overhead, [n, req] {
+    n->pci().pio([n, req] {
+      n->mcp().host_post_get(req);
+      n->nic().ring_doorbell();
+    });
+  });
+  // Idempotent retry with exponential backoff: lost requests or responses
+  // are reissued, and the total budget (~2.5 s) outlasts a full FTGM NIC
+  // recovery on either end of the path.
+  const sim::Time delay =
+      std::min<sim::Time>(sim::msec(2) << (pg.attempts - 1), sim::msec(800));
+  node_.event_queue().schedule_after(
+      delay, guarded([this, correlation] { issue_get(correlation); }));
+}
+
+bool Port::provide_receive_buffer(const Buffer& buf, std::uint8_t priority) {
+  if (!buf.valid()) return false;
+  if (recv_tokens_free_ == 0) return false;
+  --recv_tokens_free_;
+
+  mcp::RecvToken tok;
+  tok.port = id_;
+  tok.host_addr = buf.addr;
+  tok.size = buf.size;
+  tok.priority = priority;
+  tok.token_id = next_token_id_++;
+  recv_buffers_[tok.token_id] = buf;
+  recv_priorities_[tok.token_id] = priority;
+  if (ftgm()) backup_.add_recv(tok);
+
+  Node* n = &node_;
+  node_.cpu().run(sim::usecf(0.10), [n, tok] {
+    n->pci().pio([n, tok] {
+      n->mcp().host_provide_recv_token(tok);
+      n->nic().ring_doorbell();
+    });
+  });
+  return true;
+}
+
+void Port::set_alarm(sim::Time delay, std::function<void()> handler) {
+  const std::uint32_t aid = next_alarm_id_++;
+  alarms_[aid] = std::move(handler);
+  node_.mcp().host_set_alarm(id_, delay, aid);
+}
+
+void Port::push_event(const mcp::EventRecord& ev) {
+  queue_.push_back(ev);
+  if (!pump_armed_) {
+    pump_armed_ = true;
+    node_.event_queue().schedule_after(
+        node_.config().timing.hostt.poll_interval,
+        guarded([this] { pump(); }));
+  }
+}
+
+void Port::pump() {
+  if (queue_.empty()) {
+    pump_armed_ = false;
+    return;
+  }
+  const mcp::EventRecord ev = queue_.front();
+  queue_.pop_front();
+
+  const auto& t = node_.config().timing;
+  sim::Time cost;
+  switch (ev.type) {
+    case mcp::EventType::kRecv:
+      // The paper's per-receive host cost; FTGM adds two hash-table
+      // updates (recv-token copy + ACK-number table, ~0.40 us).
+      cost = t.hostt.recv_api_overhead;
+      if (ftgm()) cost += t.hostt.ftgm_recv_backup;
+      stats_.recv_cpu_ns += cost;
+      break;
+    case mcp::EventType::kSent:
+      cost = sim::usecf(0.15);  // callback dispatch only
+      break;
+    default:
+      cost = sim::usecf(0.10);
+      break;
+  }
+  node_.cpu().run(cost, guarded([this, ev] {
+                    dispatch(ev);
+                    pump();
+                  }));
+}
+
+void Port::dispatch(const mcp::EventRecord& ev) {
+  ++stats_.events_dispatched;
+  switch (ev.type) {
+    case mcp::EventType::kRecv: {
+      if (ftgm()) {
+        backup_.note_recv_seq(ev.peer, ev.stream, ev.seq);
+        backup_.remove_recv(ev.token_id);
+      }
+      ++recv_tokens_free_;
+      ++stats_.msgs_received;
+      stats_.bytes_received += ev.len;
+      RecvInfo info;
+      auto it = recv_buffers_.find(ev.token_id);
+      if (it != recv_buffers_.end()) {
+        info.buffer = it->second;
+        recv_buffers_.erase(it);
+      }
+      auto pit = recv_priorities_.find(ev.token_id);
+      if (pit != recv_priorities_.end()) {
+        info.priority = pit->second;
+        recv_priorities_.erase(pit);
+      }
+      info.len = ev.len;
+      info.src = ev.peer;
+      info.src_port = ev.peer_port;
+      if (recv_handler_) recv_handler_(info);
+      break;
+    }
+    case mcp::EventType::kSent: {
+      // The backup copy is removed just before the callback is invoked
+      // (paper Section 4.1).
+      if (ftgm()) backup_.remove_send(ev.token_id);
+      ++send_tokens_free_;
+      ++stats_.sends_completed;
+      auto it = send_callbacks_.find(ev.token_id);
+      if (it != send_callbacks_.end()) {
+        auto cb = std::move(it->second);
+        send_callbacks_.erase(it);
+        cb(true);
+      }
+      break;
+    }
+    case mcp::EventType::kGot: {
+      if (ftgm()) backup_.note_recv_seq(ev.peer, ev.stream, ev.seq);
+      auto it = pending_gets_.find(ev.msg_id);
+      if (it != pending_gets_.end()) {
+        auto cb = std::move(it->second.cb);
+        pending_gets_.erase(it);
+        if (cb) cb(true);
+      }
+      break;
+    }
+    case mcp::EventType::kAlarm: {
+      ++stats_.alarms;
+      auto it = alarms_.find(ev.token_id);
+      if (it != alarms_.end()) {
+        auto h = std::move(it->second);
+        alarms_.erase(it);
+        if (h) h();
+      }
+      break;
+    }
+    default:
+      unknown(ev);
+      break;
+  }
+}
+
+void Port::unknown(const mcp::EventRecord& ev) {
+  // gm_unknown(): the default handler for GM-internal events. FTGM's
+  // transparency hinges on hooking FAULT_DETECTED here (paper Section 4.4).
+  switch (ev.type) {
+    case mcp::EventType::kFaultDetected:
+      if (ftgm()) handle_fault_detected();
+      break;
+    case mcp::EventType::kSendError: {
+      ++stats_.send_errors;
+      if (ftgm()) backup_.remove_send(ev.token_id);
+      ++send_tokens_free_;
+      auto it = send_callbacks_.find(ev.token_id);
+      if (it != send_callbacks_.end()) {
+        auto cb = std::move(it->second);
+        send_callbacks_.erase(it);
+        cb(false);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Port::handle_fault_detected() {
+  recovering_ = true;
+  ++recoveries_;
+
+  // The handler's execution time dominates per-process recovery (paper
+  // Table 3: ~900 ms): port teardown/reopen handshakes, pinned-page
+  // revalidation, receive-queue rebuild, plus per-item restore costs.
+  const auto& rt = node_.config().timing.recovery;
+  sim::Time cost = rt.per_process_base;
+  cost += rt.per_send_token_restore * backup_.send_count();
+  cost += rt.per_recv_token_restore * backup_.recv_count();
+  cost += rt.per_stream_restore * backup_.ack_table().size();
+
+  node_.cpu().run(cost, guarded([this] {
+    auto& m = node_.mcp();
+    // 1. Restore the LANai's receive-token queue from our copies.
+    for (const auto& tok : backup_.recvs()) {
+      m.host_provide_recv_token(tok);
+    }
+    // 2. Update the LANai with the last sequence number received on each
+    //    stream so it ACKs the right messages and NACKs out-of-order ones.
+    for (const auto& [key, e] : backup_.ack_table()) {
+      m.host_restore_ack_entry(e.peer, e.stream, e.last_seq);
+    }
+    // 3. Reopen the port; the LANai reinitializes per-port state.
+    m.host_reopen_port(id_);
+    // 4. Re-post every unacknowledged send token with its original
+    //    host-generated sequence numbers; peers that already received a
+    //    message drop the duplicate at the MCP level and re-ACK.
+    for (const auto& req : backup_.sends()) {
+      m.host_post_send(req);
+    }
+    node_.nic().ring_doorbell();
+    recovering_ = false;
+    if (on_recovered_) on_recovered_();
+  }));
+}
+
+}  // namespace myri::gm

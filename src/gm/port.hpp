@@ -1,0 +1,200 @@
+// GM port: the user-level communication endpoint (paper Section 3.1).
+//
+// Mirrors the GM programming model: connectionless messaging through up to
+// 8 ports per node, implicit send/receive tokens, asynchronous completion
+// through a receive (event) queue, and a gm_unknown()-style default handler
+// for internal events. In FTGM mode the library transparently maintains the
+// BackupStore (send/receive token copies, host-generated sequence numbers,
+// the ACK-number table) and implements the FAULT_DETECTED recovery handler
+// — applications need no changes, exactly as the paper requires.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/backup_store.hpp"
+#include "mcp/types.hpp"
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace myri::gm {
+
+class Node;
+
+/// A pinned, DMA-able message buffer (GM's zero-copy requirement).
+struct Buffer {
+  host::DmaAddr addr = 0;
+  std::uint32_t size = 0;
+  [[nodiscard]] bool valid() const noexcept { return size != 0; }
+};
+
+/// What a receive handler sees for an arrived message.
+struct RecvInfo {
+  Buffer buffer;              // the posted buffer the message landed in
+  std::uint32_t len = 0;
+  net::NodeId src = net::kInvalidNode;
+  std::uint8_t src_port = 0;
+  std::uint8_t priority = 0;
+};
+
+struct PortStats {
+  std::uint64_t sends_posted = 0;
+  std::uint64_t sends_completed = 0;
+  std::uint64_t send_errors = 0;
+  std::uint64_t msgs_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t events_dispatched = 0;
+  std::uint64_t alarms = 0;
+  // Host-CPU time attributable to the send call path and to receive-event
+  // processing (the paper's "host utilization" metric, Table 2).
+  sim::Time send_cpu_ns = 0;
+  sim::Time recv_cpu_ns = 0;
+};
+
+class Port {
+ public:
+  struct Config {
+    std::uint32_t send_tokens = 16;
+    std::uint32_t recv_tokens = 16;
+  };
+  using SendCallback = std::function<void(bool ok)>;
+  using RecvHandler = std::function<void(const RecvInfo&)>;
+
+  Port(Node& node, std::uint8_t id, Config cfg);
+  Port(const Port&) = delete;
+  Port& operator=(const Port&) = delete;
+
+  [[nodiscard]] std::uint8_t id() const noexcept { return id_; }
+  [[nodiscard]] Node& node() noexcept { return node_; }
+
+  /// Allocate a pinned DMA buffer and register its pages for this port.
+  Buffer alloc_dma_buffer(std::uint32_t size);
+
+  /// gm_send_with_callback: relinquish a send token and queue the message.
+  /// Returns false if no send token is available (caller retries later).
+  bool send_with_callback(const Buffer& buf, std::uint32_t len,
+                          net::NodeId dst, std::uint8_t dst_port,
+                          std::uint8_t priority, SendCallback cb);
+
+  /// Fire-and-forget variant (still consumes/returns a token internally).
+  bool send(const Buffer& buf, std::uint32_t len, net::NodeId dst,
+            std::uint8_t dst_port, std::uint8_t priority = 0) {
+    return send_with_callback(buf, len, dst, dst_port, priority, nullptr);
+  }
+
+  /// gm_directed_send_with_callback (RDMA put): write `len` bytes into the
+  /// remote process's registered memory at `remote_vaddr`. Consumes a send
+  /// token; the receiver consumes no token and sees no event. The remote
+  /// port must have the target pages registered (its own DMA buffers are).
+  bool directed_send_with_callback(const Buffer& buf, std::uint32_t len,
+                                   net::NodeId dst, std::uint8_t dst_port,
+                                   std::uint32_t remote_vaddr,
+                                   SendCallback cb,
+                                   std::uint8_t priority = 0);
+
+  /// gm_get (RDMA read): fetch `len` bytes of the remote process's
+  /// registered memory at `remote_vaddr` into `local` (which must be one
+  /// of this port's registered buffers). The request is retried until the
+  /// response lands (gets are idempotent); cb(false) after the retry
+  /// budget is exhausted (unregistered remote memory, dead peer, ...).
+  bool get_with_callback(const Buffer& local, std::uint32_t len,
+                         net::NodeId dst, std::uint8_t dst_port,
+                         std::uint32_t remote_vaddr, SendCallback cb);
+
+  /// gm_provide_receive_buffer: relinquish a receive token.
+  bool provide_receive_buffer(const Buffer& buf, std::uint8_t priority = 0);
+
+  /// Handler invoked (from the event pump) for each received message.
+  void set_receive_handler(RecvHandler h) { recv_handler_ = std::move(h); }
+
+  /// gm_set_alarm: one-shot alarm delivered through the receive queue.
+  void set_alarm(sim::Time delay, std::function<void()> handler);
+
+  /// Invoked after this port finishes FAULT_DETECTED recovery (FTGM).
+  void set_on_recovered(std::function<void()> f) {
+    on_recovered_ = std::move(f);
+  }
+
+  // ---- introspection ----
+  [[nodiscard]] std::uint32_t send_tokens_free() const noexcept {
+    return send_tokens_free_;
+  }
+  [[nodiscard]] std::uint32_t recv_tokens_free() const noexcept {
+    return recv_tokens_free_;
+  }
+  [[nodiscard]] bool recovering() const noexcept { return recovering_; }
+  [[nodiscard]] std::uint64_t recoveries() const noexcept {
+    return recoveries_;
+  }
+  [[nodiscard]] const PortStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const core::BackupStore& backup() const noexcept {
+    return backup_;
+  }
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return queue_.size();
+  }
+
+  // ---- host receive queue (used by the MCP glue and the FTD) ----
+  void push_event(const mcp::EventRecord& ev);
+
+ private:
+  /// Wrap a deferred callback so it becomes a no-op if this Port has been
+  /// destroyed (gm_close while events or CPU work are in flight).
+  template <typename F>
+  auto guarded(F&& f) {
+    return [w = std::weak_ptr<int>(life_),
+            f = std::forward<F>(f)]() mutable {
+      if (w.expired()) return;
+      f();
+    };
+  }
+
+  bool submit_send(const Buffer& buf, std::uint32_t len,
+                   mcp::SendRequest req, SendCallback cb);
+  void pump();
+  void dispatch(const mcp::EventRecord& ev);
+  void unknown(const mcp::EventRecord& ev);      // gm_unknown()
+  void handle_fault_detected();                  // FTGM transparent recovery
+  [[nodiscard]] bool ftgm() const;
+
+  Node& node_;
+  std::uint8_t id_;
+  Config cfg_;
+  std::uint32_t send_tokens_free_;
+  std::uint32_t recv_tokens_free_;
+  std::uint32_t next_token_id_ = 1;
+  std::uint32_t next_msg_id_ = 1;
+
+  std::deque<mcp::EventRecord> queue_;  // host-side receive queue
+  bool pump_armed_ = false;
+
+  struct PendingGet {
+    mcp::GetRequest req;
+    SendCallback cb;
+    int attempts = 0;
+  };
+  void issue_get(std::uint32_t correlation);
+
+  std::unordered_map<std::uint32_t, SendCallback> send_callbacks_;
+  std::unordered_map<std::uint32_t, PendingGet> pending_gets_;
+  std::unordered_map<std::uint32_t, Buffer> recv_buffers_;  // token -> buf
+  std::unordered_map<std::uint32_t, std::uint8_t> recv_priorities_;
+  std::unordered_map<std::uint32_t, std::function<void()>> alarms_;
+  std::uint32_t next_alarm_id_ = 1;
+
+  RecvHandler recv_handler_;
+  std::function<void()> on_recovered_;
+  core::BackupStore backup_;   // maintained only in FTGM mode
+  bool recovering_ = false;
+  std::uint64_t recoveries_ = 0;
+  PortStats stats_;
+  std::shared_ptr<int> life_ = std::make_shared<int>(0);  // liveness token
+};
+
+}  // namespace myri::gm

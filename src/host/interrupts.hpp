@@ -1,0 +1,50 @@
+// Host interrupt delivery.
+//
+// The NIC raises lines (FATAL watchdog expiry being the one the paper
+// cares about); the controller invokes the registered handler after the
+// platform interrupt latency (~13 us per the paper). Raises while a
+// delivery of the same line is pending coalesce, as level-triggered PCI
+// interrupts do.
+#pragma once
+
+#include <array>
+#include <functional>
+
+#include "host/timing.hpp"
+#include "sim/event_queue.hpp"
+
+namespace myri::host {
+
+enum class IrqLine : unsigned {
+  kRecvEvent = 0,  // optional receive-notify (GM mostly polls)
+  kFatal = 1,      // watchdog IT1 expiry routed through the IMR
+  kCount = 2,
+};
+
+class InterruptController {
+ public:
+  using Handler = std::function<void()>;
+
+  InterruptController(sim::EventQueue& eq, InterruptTiming cfg)
+      : eq_(eq), cfg_(cfg) {}
+
+  void set_handler(IrqLine line, Handler h) {
+    handlers_[static_cast<unsigned>(line)] = std::move(h);
+  }
+
+  void raise(IrqLine line);
+
+  [[nodiscard]] std::uint64_t delivered(IrqLine line) const {
+    return delivered_[static_cast<unsigned>(line)];
+  }
+
+ private:
+  sim::EventQueue& eq_;
+  InterruptTiming cfg_;
+  std::array<Handler, static_cast<unsigned>(IrqLine::kCount)> handlers_{};
+  std::array<bool, static_cast<unsigned>(IrqLine::kCount)> pending_{};
+  std::array<std::uint64_t, static_cast<unsigned>(IrqLine::kCount)>
+      delivered_{};
+};
+
+}  // namespace myri::host

@@ -1,0 +1,244 @@
+#include "lanai/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <sstream>
+
+#include "lanai/cpu.hpp"
+
+namespace myri::lanai {
+
+std::uint32_t Program::label(const std::string& name) const {
+  auto it = labels.find(name);
+  if (it == labels.end()) throw AsmError("unknown label: " + name);
+  return it->second;
+}
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+std::string strip(const std::string& line) {
+  std::string s = line;
+  // Cut comments.
+  for (const char c : {';', '#'}) {
+    if (auto p = s.find(c); p != std::string::npos) s.resize(p);
+  }
+  // Trim.
+  auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+  while (!s.empty() && is_space(s.front())) s.erase(s.begin());
+  while (!s.empty() && is_space(s.back())) s.pop_back();
+  return s;
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+// Split "addi r2, r0, 0x40" -> mnemonic + operand strings.
+std::pair<std::string, std::vector<std::string>> split_line(
+    const std::string& line) {
+  std::istringstream is(line);
+  std::string mnem;
+  is >> mnem;
+  std::string rest;
+  std::getline(is, rest);
+  std::vector<std::string> ops;
+  std::string cur;
+  for (char c : rest) {
+    if (c == ',') {
+      ops.push_back(strip(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!strip(cur).empty()) ops.push_back(strip(cur));
+  return {lower(mnem), ops};
+}
+
+std::optional<unsigned> parse_reg(const std::string& t) {
+  std::string s = lower(t);
+  if (s.size() < 2 || s[0] != 'r') return std::nullopt;
+  unsigned v = 0;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return std::nullopt;
+    v = v * 10 + static_cast<unsigned>(s[i] - '0');
+  }
+  if (v > 15) return std::nullopt;
+  return v;
+}
+
+std::optional<std::int64_t> parse_int(const std::string& t) {
+  if (t.empty()) return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(t, &pos, 0);  // handles 0x, decimal, -
+    if (pos != t.size()) return std::nullopt;
+    return v;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+struct Line {
+  std::string mnem;
+  std::vector<std::string> ops;
+  int lineno = 0;
+};
+
+[[noreturn]] void fail(int lineno, const std::string& what) {
+  throw AsmError("line " + std::to_string(lineno) + ": " + what);
+}
+
+}  // namespace
+
+Program assemble(const std::string& src, std::uint32_t base) {
+  if ((base & 3u) != 0) throw AsmError("base address must be word-aligned");
+  Program prog;
+  prog.base = base;
+
+  // Pass 1: collect labels and instruction lines.
+  std::vector<Line> lines;
+  {
+    std::istringstream is(src);
+    std::string raw;
+    int lineno = 0;
+    std::uint32_t addr = base;
+    while (std::getline(is, raw)) {
+      ++lineno;
+      std::string s = strip(raw);
+      while (!s.empty()) {
+        if (auto colon = s.find(':');
+            colon != std::string::npos &&
+            s.find_first_of(" \t") > colon) {
+          std::string lab = s.substr(0, colon);
+          if (prog.labels.count(lab) != 0) fail(lineno, "duplicate label " + lab);
+          prog.labels[lab] = addr;
+          s = strip(s.substr(colon + 1));
+          continue;
+        }
+        break;
+      }
+      if (s.empty()) continue;
+      auto [mnem, ops] = split_line(s);
+      lines.push_back({mnem, ops, lineno});
+      addr += 4;
+    }
+  }
+
+  // Pass 2: encode.
+  auto imm_or_label = [&](const std::string& t, int lineno) -> std::int64_t {
+    if (auto v = parse_int(t)) return *v;
+    auto it = prog.labels.find(t);
+    if (it == prog.labels.end()) fail(lineno, "bad immediate/label: " + t);
+    return it->second;
+  };
+  auto need_imm18 = [&](std::int64_t v, int lineno) -> std::int32_t {
+    // Accept anything expressible in 18 bits, signed or unsigned; the
+    // encoder masks to 18 bits and consumers that shift (LUI, JAL) are
+    // insensitive to the sign extension.
+    if (v < -(1 << 17) || v >= (1 << 18)) {
+      fail(lineno, "immediate out of 18-bit range: " + std::to_string(v));
+    }
+    return static_cast<std::int32_t>(v);
+  };
+  auto reg_op = [&](const Line& l, std::size_t i) -> unsigned {
+    if (i >= l.ops.size()) fail(l.lineno, "missing operand");
+    auto r = parse_reg(l.ops[i]);
+    if (!r) fail(l.lineno, "bad register: " + l.ops[i]);
+    return *r;
+  };
+  // "imm(rs1)" operand for loads/stores.
+  auto mem_op = [&](const Line& l, std::size_t i,
+                    std::int32_t& imm_out) -> unsigned {
+    if (i >= l.ops.size()) fail(l.lineno, "missing memory operand");
+    const std::string& t = l.ops[i];
+    const auto open = t.find('(');
+    const auto close = t.find(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      fail(l.lineno, "bad memory operand: " + t);
+    }
+    const std::string immstr = strip(t.substr(0, open));
+    const std::string regstr = t.substr(open + 1, close - open - 1);
+    auto r = parse_reg(regstr);
+    if (!r) fail(l.lineno, "bad base register: " + regstr);
+    const std::int64_t imm = immstr.empty() ? 0 : imm_or_label(immstr, l.lineno);
+    imm_out = need_imm18(imm, l.lineno);
+    return *r;
+  };
+
+  std::uint32_t addr = base;
+  for (const Line& l : lines) {
+    std::uint32_t w = 0;
+    const int ln = l.lineno;
+    if (l.mnem == ".word") {
+      if (l.ops.size() != 1) fail(ln, ".word takes one value");
+      w = static_cast<std::uint32_t>(imm_or_label(l.ops[0], ln));
+    } else if (l.mnem == "halt") {
+      w = encode(Op::kHalt, 0, 0, 0, 0);
+    } else if (l.mnem == "nop") {
+      w = encode(Op::kNop, 0, 0, 0, 0);
+    } else if (l.mnem == "add" || l.mnem == "sub" || l.mnem == "and" ||
+               l.mnem == "or" || l.mnem == "xor" || l.mnem == "sll" ||
+               l.mnem == "srl" || l.mnem == "mul") {
+      static const std::unordered_map<std::string, Op> kR = {
+          {"add", Op::kAdd}, {"sub", Op::kSub}, {"and", Op::kAnd},
+          {"or", Op::kOr},   {"xor", Op::kXor}, {"sll", Op::kSll},
+          {"srl", Op::kSrl}, {"mul", Op::kMul}};
+      if (l.ops.size() != 3) fail(ln, l.mnem + " takes rd, rs1, rs2");
+      w = encode(kR.at(l.mnem), reg_op(l, 0), reg_op(l, 1), reg_op(l, 2), 0);
+    } else if (l.mnem == "addi" || l.mnem == "lui") {
+      const Op op = l.mnem == "addi" ? Op::kAddi : Op::kLui;
+      if (op == Op::kAddi) {
+        if (l.ops.size() != 3) fail(ln, "addi takes rd, rs1, imm");
+        w = encode(op, reg_op(l, 0), reg_op(l, 1), 0,
+                   need_imm18(imm_or_label(l.ops[2], ln), ln));
+      } else {
+        if (l.ops.size() != 2) fail(ln, "lui takes rd, imm");
+        w = encode(op, reg_op(l, 0), 0, 0,
+                   need_imm18(imm_or_label(l.ops[1], ln), ln));
+      }
+    } else if (l.mnem == "lw" || l.mnem == "sw" || l.mnem == "lb" ||
+               l.mnem == "sb") {
+      static const std::unordered_map<std::string, Op> kM = {
+          {"lw", Op::kLw}, {"sw", Op::kSw}, {"lb", Op::kLb}, {"sb", Op::kSb}};
+      if (l.ops.size() != 2) fail(ln, l.mnem + " takes rd, imm(rs1)");
+      std::int32_t imm = 0;
+      const unsigned rs1 = mem_op(l, 1, imm);
+      w = encode(kM.at(l.mnem), reg_op(l, 0), rs1, 0, imm);
+    } else if (l.mnem == "beq" || l.mnem == "bne" || l.mnem == "blt" ||
+               l.mnem == "bge") {
+      static const std::unordered_map<std::string, Op> kB = {
+          {"beq", Op::kBeq}, {"bne", Op::kBne}, {"blt", Op::kBlt},
+          {"bge", Op::kBge}};
+      if (l.ops.size() != 3) fail(ln, l.mnem + " takes rd, rs1, target");
+      const std::int64_t target = imm_or_label(l.ops[2], ln);
+      const std::int64_t off_words = (target - (addr + 4)) / 4;
+      if ((target & 3) != 0) fail(ln, "branch target misaligned");
+      w = encode(kB.at(l.mnem), reg_op(l, 0), reg_op(l, 1), 0,
+                 need_imm18(off_words, ln));
+    } else if (l.mnem == "jal") {
+      if (l.ops.size() != 2) fail(ln, "jal takes rd, target");
+      const std::int64_t target = imm_or_label(l.ops[1], ln);
+      if ((target & 3) != 0) fail(ln, "jal target misaligned");
+      w = encode(Op::kJal, reg_op(l, 0), 0, 0, need_imm18(target / 4, ln));
+    } else if (l.mnem == "jalr") {
+      if (l.ops.size() != 2) fail(ln, "jalr takes rd, rs1");
+      w = encode(Op::kJalr, reg_op(l, 0), reg_op(l, 1), 0, 0);
+    } else {
+      fail(ln, "unknown mnemonic: " + l.mnem);
+    }
+    prog.words.push_back(w);
+    addr += 4;
+  }
+  return prog;
+}
+
+}  // namespace myri::lanai

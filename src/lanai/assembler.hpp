@@ -1,0 +1,44 @@
+// Two-pass assembler for the LanISA (see cpu.hpp).
+//
+// Syntax, one instruction per line:
+//   label:                 ; labels end with ':'
+//     addi r2, r0, 0x40    ; immediates: decimal, 0x-hex, or -negative
+//     lui  r1, 0x3c000
+//     lw   r3, 8(r2)       ; load/store: rd, imm(rs1)
+//     sw   r3, 0x20(r1)
+//     beq  r3, r0, done    ; branch targets are labels
+//     jal  r15, helper     ; call (absolute target)
+//     jalr r0, r15         ; return through a register
+//     halt
+//     .word 0xdeadbeef     ; raw data word
+// Comments start with ';' or '#'.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace myri::lanai {
+
+struct AsmError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct Program {
+  std::uint32_t base = 0;                  // byte address of words[0]
+  std::vector<std::uint32_t> words;
+  std::unordered_map<std::string, std::uint32_t> labels;  // byte addresses
+
+  /// Byte address of a label; throws AsmError if absent.
+  [[nodiscard]] std::uint32_t label(const std::string& name) const;
+
+  [[nodiscard]] std::size_t size_bytes() const { return words.size() * 4; }
+};
+
+/// Assemble `src` for loading at byte address `base`. Throws AsmError with
+/// a line-numbered message on any syntax or range problem.
+Program assemble(const std::string& src, std::uint32_t base);
+
+}  // namespace myri::lanai

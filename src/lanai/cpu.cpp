@@ -1,0 +1,162 @@
+#include "lanai/cpu.hpp"
+
+#include <sstream>
+
+namespace myri::lanai {
+
+const char* to_string(RunStatus s) {
+  switch (s) {
+    case RunStatus::kReturned: return "returned";
+    case RunStatus::kHalted: return "halted";
+    case RunStatus::kFault: return "fault";
+    case RunStatus::kBudgetExceeded: return "budget-exceeded";
+    case RunStatus::kRestart: return "restart";
+  }
+  return "?";
+}
+
+void Cpu::reset() {
+  for (auto& r : regs_) r = 0;
+}
+
+namespace {
+std::string hex(std::uint32_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+}  // namespace
+
+RunResult Cpu::run(std::uint32_t entry, std::uint64_t max_cycles) {
+  RunResult res;
+  std::uint32_t pc = entry;
+  regs_[15] = kReturnAddr;
+
+  auto stop = [&](RunStatus st, std::string detail) {
+    res.status = st;
+    res.pc = pc;
+    res.detail = std::move(detail);
+    total_cycles_ += res.cycles;
+    return res;
+  };
+
+  for (;;) {
+    if (pc == kReturnAddr) return stop(RunStatus::kReturned, "");
+    if (pc == 0) return stop(RunStatus::kRestart, "jump to reset vector");
+    if (res.cycles >= max_cycles) {
+      return stop(RunStatus::kBudgetExceeded, "cycle budget exhausted");
+    }
+    if ((pc & 3u) != 0 || !sram_.in_range(pc, 4)) {
+      return stop(RunStatus::kFault, "bad fetch address " + hex(pc));
+    }
+    const std::uint32_t w = sram_.read32(pc);
+    const Op op = op_of(w);
+    const unsigned rd = rd_of(w), rs1 = rs1_of(w), rs2 = rs2_of(w);
+    const std::int32_t imm = imm18_of(w);
+    ++res.cycles;
+    std::uint32_t next = pc + 4;
+
+    auto set = [&](unsigned r, std::uint32_t v) {
+      if (r != 0) regs_[r] = v;
+    };
+    auto data_addr = [&]() {
+      return regs_[rs1] + static_cast<std::uint32_t>(imm);
+    };
+
+    switch (op) {
+      case Op::kHalt:
+        return stop(RunStatus::kHalted, "HALT at " + hex(pc));
+      case Op::kNop:
+        break;
+      case Op::kAdd: set(rd, regs_[rs1] + regs_[rs2]); break;
+      case Op::kSub: set(rd, regs_[rs1] - regs_[rs2]); break;
+      case Op::kAnd: set(rd, regs_[rs1] & regs_[rs2]); break;
+      case Op::kOr: set(rd, regs_[rs1] | regs_[rs2]); break;
+      case Op::kXor: set(rd, regs_[rs1] ^ regs_[rs2]); break;
+      case Op::kSll: set(rd, regs_[rs1] << (regs_[rs2] & 31u)); break;
+      case Op::kSrl: set(rd, regs_[rs1] >> (regs_[rs2] & 31u)); break;
+      case Op::kMul: set(rd, regs_[rs1] * regs_[rs2]); break;
+      case Op::kAddi:
+        set(rd, regs_[rs1] + static_cast<std::uint32_t>(imm));
+        break;
+      case Op::kLui:
+        set(rd, static_cast<std::uint32_t>(imm) << 14);
+        break;
+      case Op::kLw: {
+        const std::uint32_t a = data_addr();
+        if (a >= kMmioBase) {
+          if ((a & 3u) != 0) return stop(RunStatus::kFault, "mmio align");
+          set(rd, mmio_.mmio_read(a));
+        } else if ((a & 3u) == 0 && sram_.in_range(a, 4)) {
+          set(rd, sram_.read32(a));
+        } else {
+          return stop(RunStatus::kFault, "bad LW address " + hex(a));
+        }
+        break;
+      }
+      case Op::kSw: {
+        const std::uint32_t a = data_addr();
+        if (a >= kMmioBase) {
+          if ((a & 3u) != 0) return stop(RunStatus::kFault, "mmio align");
+          mmio_.mmio_write(a, regs_[rd]);
+        } else if ((a & 3u) == 0 && sram_.in_range(a, 4)) {
+          sram_.write32(a, regs_[rd]);
+        } else {
+          return stop(RunStatus::kFault, "bad SW address " + hex(a));
+        }
+        break;
+      }
+      case Op::kLb: {
+        const std::uint32_t a = data_addr();
+        if (a < kMmioBase && sram_.in_range(a, 1)) {
+          set(rd, sram_.read8(a));
+        } else {
+          return stop(RunStatus::kFault, "bad LB address " + hex(a));
+        }
+        break;
+      }
+      case Op::kSb: {
+        const std::uint32_t a = data_addr();
+        if (a < kMmioBase && sram_.in_range(a, 1)) {
+          sram_.write8(a, static_cast<std::uint8_t>(regs_[rd]));
+        } else {
+          return stop(RunStatus::kFault, "bad SB address " + hex(a));
+        }
+        break;
+      }
+      case Op::kBeq:
+        if (regs_[rd] == regs_[rs1]) next = pc + 4 + (imm << 2);
+        break;
+      case Op::kBne:
+        if (regs_[rd] != regs_[rs1]) next = pc + 4 + (imm << 2);
+        break;
+      case Op::kBlt:
+        if (static_cast<std::int32_t>(regs_[rd]) <
+            static_cast<std::int32_t>(regs_[rs1])) {
+          next = pc + 4 + (imm << 2);
+        }
+        break;
+      case Op::kBge:
+        if (static_cast<std::int32_t>(regs_[rd]) >=
+            static_cast<std::int32_t>(regs_[rs1])) {
+          next = pc + 4 + (imm << 2);
+        }
+        break;
+      case Op::kJal:
+        set(rd, pc + 4);
+        next = static_cast<std::uint32_t>(imm) << 2;
+        break;
+      case Op::kJalr:
+        set(rd, pc + 4);
+        next = regs_[rs1] & ~3u;
+        break;
+      case Op::kInvalid:
+      default:
+        return stop(RunStatus::kFault,
+                    "invalid opcode " + hex(w >> 26) + " at " + hex(pc));
+    }
+    pc = next;
+  }
+}
+
+}  // namespace myri::lanai

@@ -1,0 +1,177 @@
+#include "lanai/disassembler.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace myri::lanai {
+
+const char* mnemonic(Op op) {
+  switch (op) {
+    case Op::kHalt: return "halt";
+    case Op::kNop: return "nop";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kSll: return "sll";
+    case Op::kSrl: return "srl";
+    case Op::kMul: return "mul";
+    case Op::kAddi: return "addi";
+    case Op::kLui: return "lui";
+    case Op::kLw: return "lw";
+    case Op::kSw: return "sw";
+    case Op::kLb: return "lb";
+    case Op::kSb: return "sb";
+    case Op::kBeq: return "beq";
+    case Op::kBne: return "bne";
+    case Op::kBlt: return "blt";
+    case Op::kBge: return "bge";
+    case Op::kJal: return "jal";
+    case Op::kJalr: return "jalr";
+    default: return "invalid";
+  }
+}
+
+const char* to_string(Field f) {
+  switch (f) {
+    case Field::kOpcode: return "opcode";
+    case Field::kRd: return "rd";
+    case Field::kRs1: return "rs1";
+    case Field::kRs2: return "rs2";
+    case Field::kImm: return "imm";
+    case Field::kUnused: return "unused";
+  }
+  return "?";
+}
+
+namespace {
+
+enum class Format { kNone, kR, kI, kLoadStore, kBranch, kJal, kJalr, kLui };
+
+Format format_of(Op op) {
+  switch (op) {
+    case Op::kHalt:
+    case Op::kNop:
+      return Format::kNone;
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kSll:
+    case Op::kSrl:
+    case Op::kMul:
+      return Format::kR;
+    case Op::kAddi:
+      return Format::kI;
+    case Op::kLui:
+      return Format::kLui;
+    case Op::kLw:
+    case Op::kSw:
+    case Op::kLb:
+    case Op::kSb:
+      return Format::kLoadStore;
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+      return Format::kBranch;
+    case Op::kJal:
+      return Format::kJal;
+    case Op::kJalr:
+      return Format::kJalr;
+    default:
+      return Format::kNone;
+  }
+}
+
+}  // namespace
+
+std::string disassemble(std::uint32_t w) {
+  const Op op = op_of(w);
+  const unsigned rd = rd_of(w), rs1 = rs1_of(w), rs2 = rs2_of(w);
+  const std::int32_t imm = imm18_of(w);
+  std::ostringstream os;
+  os << mnemonic(op);
+  switch (format_of(op)) {
+    case Format::kNone:
+      break;
+    case Format::kR:
+      os << " r" << rd << ", r" << rs1 << ", r" << rs2;
+      break;
+    case Format::kI:
+      os << " r" << rd << ", r" << rs1 << ", " << imm;
+      break;
+    case Format::kLui:
+      os << " r" << rd << ", 0x" << std::hex << (w & 0x3ffffu);
+      break;
+    case Format::kLoadStore:
+      os << " r" << rd << ", " << imm << "(r" << rs1 << ")";
+      break;
+    case Format::kBranch:
+      os << " r" << rd << ", r" << rs1 << ", " << imm;
+      break;
+    case Format::kJal:
+      os << " r" << rd << ", 0x" << std::hex << ((w & 0x3ffffu) << 2);
+      break;
+    case Format::kJalr:
+      os << " r" << rd << ", r" << rs1;
+      break;
+  }
+  return os.str();
+}
+
+Field field_of_bit(std::uint32_t word, unsigned bit) {
+  bit &= 31u;
+  if (bit >= 26) return Field::kOpcode;
+  const Format f = format_of(op_of(word));
+  if (bit >= 22) {
+    return f == Format::kNone ? Field::kUnused : Field::kRd;
+  }
+  if (bit >= 18) {
+    switch (f) {
+      case Format::kR:
+      case Format::kI:
+      case Format::kLoadStore:
+      case Format::kBranch:
+      case Format::kJalr:
+        return Field::kRs1;
+      case Format::kLui:
+      case Format::kJal:
+        return Field::kUnused;
+      default:
+        return Field::kUnused;
+    }
+  }
+  // bits 17..0
+  switch (f) {
+    case Format::kR:
+      return bit >= 14 ? Field::kRs2 : Field::kUnused;
+    case Format::kI:
+    case Format::kLoadStore:
+    case Format::kBranch:
+    case Format::kLui:
+    case Format::kJal:
+      return Field::kImm;
+    case Format::kJalr:
+    case Format::kNone:
+    default:
+      return Field::kUnused;
+  }
+}
+
+std::string disassemble_range(const Sram& sram, std::uint32_t base,
+                              std::uint32_t len_bytes) {
+  std::ostringstream os;
+  for (std::uint32_t a = base; a + 4 <= base + len_bytes; a += 4) {
+    if (!sram.in_range(a, 4)) break;
+    const std::uint32_t w = sram.read32(a);
+    char head[32];
+    std::snprintf(head, sizeof(head), "0x%05x: %08x  ", a, w);
+    os << head << disassemble(w) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace myri::lanai

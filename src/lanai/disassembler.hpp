@@ -1,0 +1,43 @@
+// LanISA disassembler.
+//
+// Used by the fault-injection analysis to report which instruction (and
+// which field of it) a bit flip landed in, and by debugging tools to dump
+// SRAM code segments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lanai/cpu.hpp"
+#include "lanai/sram.hpp"
+
+namespace myri::lanai {
+
+/// Mnemonic for an opcode ("addi", "lw", ... or "invalid").
+const char* mnemonic(Op op);
+
+/// One instruction word -> "addi r2, r0, 0x4100" style text.
+std::string disassemble(std::uint32_t word);
+
+/// Which encoding field a bit index (0..31) falls in for this opcode.
+enum class Field {
+  kOpcode,    // bits 31..26
+  kRd,        // bits 25..22
+  kRs1,       // bits 21..18
+  kRs2,       // bits 17..14 (R-type)
+  kImm,       // bits 17..0  (I-type/branch/jump)
+  kUnused,    // ignored bits (R-type low bits)
+};
+
+const char* to_string(Field f);
+
+/// Classify bit `bit` (0 = LSB) of instruction `word`.
+Field field_of_bit(std::uint32_t word, unsigned bit);
+
+/// Disassemble a code range from SRAM; one line per word:
+/// "0x1010: 2c48000a  lw   r3, 10(r2)".
+std::string disassemble_range(const Sram& sram, std::uint32_t base,
+                              std::uint32_t len_bytes);
+
+}  // namespace myri::lanai

@@ -1,0 +1,43 @@
+// LANai memory-mapped register file: address map and ISR bit assignments.
+//
+// The interpreted MCP code accesses devices through these MMIO addresses;
+// native MCP code uses the same registers through the Nic API, so both
+// views stay coherent.
+#pragma once
+
+#include <cstdint>
+
+namespace myri::lanai {
+
+inline constexpr std::uint32_t kMmioBase = 0xf0000000u;
+
+enum MmioReg : std::uint32_t {
+  kRegIsr = kMmioBase + 0x00,        // read; write-1-to-clear
+  kRegImr = kMmioBase + 0x04,        // interrupt mask toward the host
+  kRegIt0 = kMmioBase + 0x08,        // interval timers: write arms (ticks)
+  kRegIt1 = kMmioBase + 0x0c,
+  kRegIt2 = kMmioBase + 0x10,
+  kRegHdmaHost = kMmioBase + 0x20,   // host DMA: host address
+  kRegHdmaLocal = kMmioBase + 0x24,  // host DMA: SRAM address
+  kRegHdmaLen = kMmioBase + 0x28,    // host DMA: length (bytes)
+  kRegHdmaCtrl = kMmioBase + 0x2c,   // write 1: host->SRAM, 2: SRAM->host;
+                                     // read: 1 while the engine is busy
+  kRegTxDesc = kMmioBase + 0x30,     // write SRAM descriptor addr: transmit
+  kRegScratch = kMmioBase + 0x3c,    // r/w scratch (tests)
+};
+
+// Interface status register bits.
+enum IsrBit : std::uint32_t {
+  kIsrIt0 = 1u << 0,
+  kIsrIt1 = 1u << 1,
+  kIsrIt2 = 1u << 2,
+  kIsrHdmaDone = 1u << 3,
+  kIsrSendDone = 1u << 4,
+  kIsrRecv = 1u << 5,
+  kIsrDoorbell = 1u << 6,   // host signalled new work
+};
+
+/// Number of interval timers on the LANai (paper Section 4.2).
+inline constexpr int kNumTimers = 3;
+
+}  // namespace myri::lanai

@@ -1,0 +1,52 @@
+// LANai interval timer: a 32-bit down-counter decremented every 0.5 us.
+//
+// Writing a value arms the timer; on expiry it sets its ISR bit (via the
+// owner's callback) and stays expired until re-armed — exactly the
+// semantics the paper's watchdog relies on: L_timer() re-arms IT1 in time
+// during normal operation, and a hung MCP lets it expire.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace myri::lanai {
+
+class IntervalTimer {
+ public:
+  IntervalTimer(sim::EventQueue& eq, sim::Time tick,
+                std::function<void()> on_expire)
+      : eq_(eq), tick_(tick), on_expire_(std::move(on_expire)) {}
+
+  /// Arm with `ticks` timer ticks; 0 disarms. Re-arming cancels the
+  /// previous expiry.
+  void arm(std::uint32_t ticks) {
+    pending_.cancel();
+    if (ticks == 0) return;
+    expiry_ = eq_.now() + static_cast<sim::Time>(ticks) * tick_;
+    pending_ = eq_.schedule_at(expiry_, [this] {
+      if (on_expire_) on_expire_();
+    });
+  }
+
+  void disarm() { pending_.cancel(); }
+
+  [[nodiscard]] bool armed() const { return pending_.pending(); }
+
+  /// Remaining ticks (0 when expired or disarmed).
+  [[nodiscard]] std::uint32_t remaining() const {
+    if (!pending_.pending() || expiry_ <= eq_.now()) return 0;
+    return static_cast<std::uint32_t>((expiry_ - eq_.now()) / tick_);
+  }
+
+ private:
+  sim::EventQueue& eq_;
+  sim::Time tick_;
+  std::function<void()> on_expire_;
+  sim::EventQueue::Handle pending_;
+  sim::Time expiry_ = 0;
+};
+
+}  // namespace myri::lanai

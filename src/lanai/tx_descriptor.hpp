@@ -1,0 +1,28 @@
+// SRAM layout of the transmit descriptor that send_chunk builds and the
+// packet interface consumes. Shared between the interpreted assembly (field
+// offsets appear as immediates in mcp/send_chunk) and the native
+// Nic::tx_from_descriptor() reader, so keep them in sync.
+#pragma once
+
+#include <cstdint>
+
+namespace myri::lanai {
+
+struct TxDescLayout {
+  static constexpr std::uint32_t kDst = 0;          // destination node id
+  static constexpr std::uint32_t kSeq = 4;          // sequence number
+  static constexpr std::uint32_t kStream = 8;       // stream id
+  static constexpr std::uint32_t kDstPort = 12;     // destination GM port
+  static constexpr std::uint32_t kPayloadAddr = 16; // SRAM staging address
+  static constexpr std::uint32_t kPayloadLen = 20;  // bytes
+  static constexpr std::uint32_t kMsgId = 24;
+  static constexpr std::uint32_t kMsgLen = 28;
+  static constexpr std::uint32_t kFragOffset = 32;
+  static constexpr std::uint32_t kFlags = 36;       // bit0: priority,
+                                                    // bit2: directed send
+  static constexpr std::uint32_t kSrcPort = 40;     // source GM port
+  static constexpr std::uint32_t kTarget = 44;      // directed target vaddr
+  static constexpr std::uint32_t kSize = 48;
+};
+
+}  // namespace myri::lanai

@@ -1,0 +1,226 @@
+#include "mapper/mapper.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace myri::mapper {
+
+namespace {
+constexpr std::uint32_t vertex_key(net::DeviceKind k, std::uint16_t id) {
+  return static_cast<std::uint32_t>(k) << 16 | id;
+}
+}  // namespace
+
+Mapper::Mapper(gm::Node& home, Config cfg) : home_(home), cfg_(cfg) {}
+
+void Mapper::run(std::function<void(bool)> done) {
+  done_ = std::move(done);
+  devices_.clear();
+  pending_.clear();
+  running_ = true;
+  ++stats_.runs;
+
+  home_.mcp().set_map_reply_handler(
+      [this](const net::Packet& pkt) { on_reply(pkt); });
+
+  // Seed the graph with the mapper's own interface.
+  DeviceInfo self;
+  self.ref = {net::DeviceKind::kInterface, home_.id()};
+  self.ports = 1;
+  devices_[self.ref.key()] = self;
+
+  // Probe whatever is at the end of our own cable.
+  send_scout({}, std::nullopt, 0);
+}
+
+void Mapper::send_scout(std::vector<std::uint8_t> route,
+                        std::optional<std::uint32_t> parent,
+                        std::uint8_t out_port) {
+  const std::uint32_t id = next_scout_++;
+  pending_[id] = PendingScout{route, parent, out_port};
+  ++stats_.scouts_sent;
+
+  net::Packet pkt;
+  pkt.type = net::PacketType::kMapScout;
+  pkt.src = home_.id();
+  pkt.msg_id = id;
+  pkt.route = std::move(route);
+  pkt.seal();
+  home_.mcp().send_raw(std::move(pkt));
+
+  home_.event_queue().schedule_after(cfg_.scout_timeout, [this, id] {
+    if (pending_.erase(id) > 0) {
+      ++stats_.timeouts;  // nothing at the end of that route
+      if (pending_.empty() && running_) finish_discovery();
+    }
+  });
+}
+
+void Mapper::on_reply(const net::Packet& pkt) {
+  auto it = pending_.find(pkt.msg_id);
+  if (it == pending_.end()) return;  // late reply after timeout
+  const PendingScout ctx = std::move(it->second);
+  pending_.erase(it);
+  ++stats_.replies;
+
+  const net::MapReplyInfo info = net::MapReplyInfo::decode(pkt.payload);
+  const DeviceRef v{info.kind, info.id};
+  const std::uint32_t vkey = v.key();
+  const std::uint32_t parent_key =
+      ctx.parent ? *ctx.parent
+                 : vertex_key(net::DeviceKind::kInterface, home_.id());
+  const std::uint8_t parent_port = ctx.parent ? ctx.out_port : 0;
+  // The probe's recorded input ports give the far end of the last cable:
+  // for a switch it is the last walked entry; an interface has one port.
+  const std::uint8_t far_port =
+      info.kind == net::DeviceKind::kSwitch && !info.walked.empty()
+          ? info.walked.back()
+          : 0;
+
+  const bool fresh = devices_.find(vkey) == devices_.end();
+  if (fresh) {
+    DeviceInfo d;
+    d.ref = v;
+    d.ports = info.ports;
+    d.scout_route = ctx.route;
+    devices_[vkey] = std::move(d);
+  }
+  devices_[parent_key].neighbours[parent_port] = {vkey, far_port};
+  devices_[vkey].neighbours[far_port] = {parent_key, parent_port};
+
+  if (fresh && info.kind == net::DeviceKind::kSwitch &&
+      ctx.route.size() < cfg_.max_depth) {
+    for (std::uint8_t q = 0; q < info.ports; ++q) {
+      if (q == far_port) continue;  // don't probe back the way we came
+      std::vector<std::uint8_t> r = ctx.route;
+      r.push_back(q);
+      send_scout(std::move(r), vkey, q);
+    }
+  }
+  if (pending_.empty() && running_) finish_discovery();
+}
+
+void Mapper::finish_discovery() {
+  running_ = false;
+  if (num_switches() == 0 || interfaces().empty()) {
+    if (done_) done_(false);
+    return;
+  }
+  compute_and_distribute();
+}
+
+std::vector<net::NodeId> Mapper::interfaces() const {
+  std::vector<net::NodeId> out;
+  for (const auto& [key, d] : devices_) {
+    if (d.ref.kind == net::DeviceKind::kInterface) out.push_back(d.ref.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t Mapper::num_switches() const {
+  std::size_t n = 0;
+  for (const auto& [key, d] : devices_) {
+    if (d.ref.kind == net::DeviceKind::kSwitch) ++n;
+  }
+  return n;
+}
+
+std::map<std::uint32_t, std::vector<std::uint8_t>> Mapper::routes_from(
+    std::uint32_t src_key) const {
+  // BFS producing, per reachable vertex, the source route (the output port
+  // taken at each *switch* along the path; interface hops emit no byte).
+  struct Hop {
+    std::uint32_t parent;
+    std::uint8_t out_port;  // port used at the parent
+  };
+  std::map<std::uint32_t, Hop> prev;
+  std::deque<std::uint32_t> frontier{src_key};
+  prev[src_key] = {src_key, 0};
+  while (!frontier.empty()) {
+    const std::uint32_t u = frontier.front();
+    frontier.pop_front();
+    auto it = devices_.find(u);
+    if (it == devices_.end()) continue;
+    for (const auto& [port, edge] : it->second.neighbours) {
+      const auto [w, wport] = edge;
+      if (prev.count(w) != 0) continue;
+      prev[w] = {u, port};
+      frontier.push_back(w);
+    }
+  }
+  std::map<std::uint32_t, std::vector<std::uint8_t>> out;
+  for (const auto& [v, hop] : prev) {
+    if (v == src_key) continue;
+    // Reconstruct backwards, collecting switch output ports.
+    std::vector<std::uint8_t> rev;
+    std::uint32_t cur = v;
+    while (cur != src_key) {
+      const Hop& h = prev.at(cur);
+      const auto pit = devices_.find(h.parent);
+      const bool parent_is_switch =
+          pit != devices_.end() &&
+          pit->second.ref.kind == net::DeviceKind::kSwitch;
+      if (parent_is_switch) rev.push_back(h.out_port);
+      cur = h.parent;
+    }
+    out[v] = {rev.rbegin(), rev.rend()};
+  }
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> Mapper::route_between(
+    net::NodeId a, net::NodeId b) const {
+  const auto routes = routes_from(vertex_key(net::DeviceKind::kInterface, a));
+  auto it = routes.find(vertex_key(net::DeviceKind::kInterface, b));
+  if (it == routes.end()) return std::nullopt;
+  return it->second;
+}
+
+void Mapper::compute_and_distribute() {
+  const std::vector<net::NodeId> ifaces = interfaces();
+  const auto home_routes =
+      routes_from(vertex_key(net::DeviceKind::kInterface, home_.id()));
+
+  for (net::NodeId x : ifaces) {
+    const auto routes = routes_from(vertex_key(net::DeviceKind::kInterface, x));
+    std::vector<net::RouteEntry> entries;
+    for (net::NodeId y : ifaces) {
+      if (y == x) continue;
+      auto rit = routes.find(vertex_key(net::DeviceKind::kInterface, y));
+      if (rit != routes.end()) entries.push_back({y, rit->second});
+    }
+    if (x == home_.id()) {
+      // Local install: the mapper host programs its own card directly.
+      for (const auto& e : entries) {
+        home_.install_route(e.dst, e.route);
+      }
+      continue;
+    }
+    auto hit = home_routes.find(vertex_key(net::DeviceKind::kInterface, x));
+    if (hit == home_routes.end()) continue;
+    // MAP_ROUTE payloads are bounded by the packet size; chunk the table.
+    constexpr std::size_t kChunk = 40;
+    for (std::size_t i = 0; i < entries.size(); i += kChunk) {
+      std::vector<net::RouteEntry> chunk(
+          entries.begin() + static_cast<std::ptrdiff_t>(i),
+          entries.begin() +
+              static_cast<std::ptrdiff_t>(std::min(i + kChunk,
+                                                   entries.size())));
+      net::Packet pkt;
+      pkt.type = net::PacketType::kMapRoute;
+      pkt.src = home_.id();
+      pkt.dst = x;
+      pkt.route = hit->second;
+      pkt.payload = net::encode_route_update(chunk);
+      pkt.seal();
+      ++stats_.route_packets;
+      home_.mcp().send_raw(std::move(pkt));
+    }
+  }
+  home_.event_queue().schedule_after(cfg_.settle, [this] {
+    if (done_) done_(true);
+  });
+}
+
+}  // namespace myri::mapper

@@ -1,0 +1,106 @@
+// The GM mapper: self-configuration of a Myrinet fabric (paper Section 2).
+//
+// Runs on one node ("the mapper host"). Discovers the topology by flooding
+// MAP_SCOUT probes along incrementally longer source routes: every device
+// at the end of a probe's route answers with its identity and the list of
+// input ports the probe walked, which pins down each cable's far end.
+// After discovery it computes shortest-path source routes between every
+// pair of interfaces and distributes per-node route tables with MAP_ROUTE
+// packets. Re-running it remaps a changed fabric, mirroring GM's behaviour
+// when links or nodes appear or disappear.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gm/node.hpp"
+#include "net/map_info.hpp"
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace myri::mapper {
+
+/// Vertex identity in the discovered graph.
+struct DeviceRef {
+  net::DeviceKind kind = net::DeviceKind::kInterface;
+  std::uint16_t id = 0;
+
+  [[nodiscard]] std::uint32_t key() const {
+    return static_cast<std::uint32_t>(kind) << 16 | id;
+  }
+  friend bool operator==(const DeviceRef&, const DeviceRef&) = default;
+};
+
+struct DeviceInfo {
+  DeviceRef ref;
+  std::uint8_t ports = 1;
+  std::vector<std::uint8_t> scout_route;  // shortest probe route found
+  /// port -> (neighbour, neighbour's port)
+  std::map<std::uint8_t, std::pair<std::uint32_t, std::uint8_t>> neighbours;
+};
+
+struct MapperStats {
+  std::uint64_t scouts_sent = 0;
+  std::uint64_t replies = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t route_packets = 0;
+  std::uint64_t runs = 0;
+};
+
+class Mapper {
+ public:
+  struct Config {
+    sim::Time scout_timeout = sim::usec(300);
+    sim::Time settle = sim::usec(100);  // let MAP_ROUTE packets land
+    std::size_t max_depth = 16;         // probe route length bound
+  };
+
+  explicit Mapper(gm::Node& home) : Mapper(home, Config()) {}
+  Mapper(gm::Node& home, Config cfg);
+
+  /// Discover + compute + distribute. `done(ok)` fires once the route
+  /// tables have been delivered (ok=false if discovery found nothing).
+  void run(std::function<void(bool)> done);
+
+  // ---- results ----
+  [[nodiscard]] const std::map<std::uint32_t, DeviceInfo>& devices() const {
+    return devices_;
+  }
+  [[nodiscard]] std::vector<net::NodeId> interfaces() const;
+  [[nodiscard]] std::size_t num_switches() const;
+  /// Source route from interface `a` to interface `b` (after run()).
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> route_between(
+      net::NodeId a, net::NodeId b) const;
+  [[nodiscard]] const MapperStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct PendingScout {
+    std::vector<std::uint8_t> route;
+    std::optional<std::uint32_t> parent;  // vertex key the route extends
+    std::uint8_t out_port = 0;            // port used at the parent
+  };
+
+  void send_scout(std::vector<std::uint8_t> route,
+                  std::optional<std::uint32_t> parent, std::uint8_t out_port);
+  void on_reply(const net::Packet& pkt);
+  void scout_done(std::uint32_t scout_id);
+  void finish_discovery();
+  void compute_and_distribute();
+  [[nodiscard]] std::map<std::uint32_t, std::vector<std::uint8_t>>
+  routes_from(std::uint32_t src_key) const;
+
+  gm::Node& home_;
+  Config cfg_;
+  std::function<void(bool)> done_;
+  std::map<std::uint32_t, DeviceInfo> devices_;
+  std::map<std::uint32_t, PendingScout> pending_;  // scout id -> context
+  std::uint32_t next_scout_ = 1;
+  bool running_ = false;
+  MapperStats stats_;
+};
+
+}  // namespace myri::mapper

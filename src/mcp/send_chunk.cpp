@@ -1,0 +1,123 @@
+#include "mcp/send_chunk.hpp"
+
+#include "mcp/sram_layout.hpp"
+
+namespace myri::mcp {
+
+// Field immediates must match SendDescLayout / lanai::TxDescLayout.
+//
+// Like the real GM send path, most of this section is conditionally
+// executed: error-handling blocks whose checks normally pass, a
+// high-priority variant, and a resend path gated on a descriptor flag.
+// Fault-injection flips that land in untaken blocks have no effect, which
+// is where the paper's large "No Impact" fraction (Table 1) comes from.
+const std::string& send_chunk_source() {
+  static const std::string kSrc = R"(
+; ---------- phase A: stage the fragment payload from host memory ----------
+send_chunk:
+    lui  r1, 0x3c000        ; r1 = MMIO base (0xF0000000)
+    addi r2, r0, 0x4100     ; r2 = send descriptor
+    ; --- sanity checks (normally pass; failures divert to error path) ---
+    lw   r5, 8(r2)          ; fragment length
+    addi r6, r0, 4096
+    blt  r6, r5, sc_bad_desc     ; len > 4 KB: malformed descriptor
+    lw   r3, 0(r2)          ; host address
+    beq  r3, r0, sc_bad_desc     ; null host pointer
+    lw   r4, 4(r2)          ; SRAM staging address
+    beq  r4, r0, sc_bad_desc
+    ; --- resend path: flag bit 1 set means staged payload is still valid
+    ;     and the DMA can be skipped (rare) ---
+    lw   r9, 44(r2)         ; flags
+    addi r10, r0, 2
+    and  r9, r9, r10
+    bne  r9, r0, sc_resend
+    ; --- bounded wait for the host-DMA engine ---
+    addi r8, r0, 2000
+sc_wait:
+    lw   r9, 0x2c(r1)       ; HDMA_CTRL reads 1 while the engine is busy
+    beq  r9, r0, sc_go
+    addi r8, r8, -1
+    bne  r8, r0, sc_wait
+    halt                    ; engine wedged: stop the processor
+sc_go:
+    sw   r3, 0x20(r1)       ; HDMA_HOST
+    sw   r4, 0x24(r1)       ; HDMA_LOCAL
+    sw   r5, 0x28(r1)       ; HDMA_LEN
+    addi r6, r0, 1
+    sw   r6, 0x2c(r1)       ; HDMA_CTRL: start host->SRAM
+    jalr r0, r15            ; return; phase B resumes on DMA completion
+
+    ; --- error path: malformed descriptor. Scrub it and report by leaving
+    ;     a diagnostic code in the scratch register (normally unreached) ---
+sc_bad_desc:
+    addi r6, r0, 0x7e
+    sw   r6, 0x3c(r1)       ; scratch: diagnostic code
+    sw   r0, 0(r2)          ; clear the descriptor
+    sw   r0, 4(r2)
+    sw   r0, 8(r2)
+    sw   r0, 12(r2)
+    jalr r0, r15
+
+    ; --- resend path: payload already staged; go straight to TX ---
+sc_resend:
+    jal  r14, sc_build_tx
+    jalr r0, r15
+
+; ---------- phase B: build the TX descriptor, start transmission ----------
+send_chunk_tx:
+    lui  r1, 0x3c000
+    addi r2, r0, 0x4100     ; send descriptor
+    jal  r14, sc_build_tx
+    jalr r0, r15
+
+    ; --- shared TX-descriptor builder (r1 = MMIO, r2 = send desc) ---
+sc_build_tx:
+    addi r7, r0, 0x4200     ; TX descriptor
+    lw   r3, 20(r2)         ; dst node
+    sw   r3, 0(r7)
+    lw   r3, 12(r2)         ; sequence number
+    sw   r3, 4(r7)
+    lw   r3, 16(r2)         ; stream id
+    sw   r3, 8(r7)
+    lw   r3, 24(r2)         ; dst port
+    sw   r3, 12(r7)
+    lw   r3, 4(r2)          ; payload staging address
+    sw   r3, 16(r7)
+    lw   r3, 8(r2)          ; payload length
+    sw   r3, 20(r7)
+    lw   r3, 32(r2)         ; msg id
+    sw   r3, 24(r7)
+    lw   r3, 36(r2)         ; msg len
+    sw   r3, 28(r7)
+    lw   r3, 40(r2)         ; frag offset
+    sw   r3, 32(r7)
+    lw   r3, 28(r2)         ; src port
+    sw   r3, 40(r7)
+    lw   r3, 48(r2)         ; directed-send target address
+    sw   r3, 44(r7)
+    lw   r3, 44(r2)         ; flags (priority | directed)
+    sw   r3, 36(r7)
+    addi r6, r0, 1
+    and  r5, r3, r6
+    beq  r5, r0, sc_tx_lo
+    ; --- high-priority variant: expedited doorbell (rare) ---
+    addi r3, r0, 0x4200
+    sw   r3, 0x30(r1)       ; TX_DESC: go
+    jalr r0, r14
+sc_tx_lo:
+    addi r3, r0, 0x4200
+    sw   r3, 0x30(r1)       ; TX_DESC: go
+    jalr r0, r14
+)";
+  return kSrc;
+}
+
+SendChunkImage assemble_send_chunk() {
+  SendChunkImage img;
+  img.program = lanai::assemble(send_chunk_source(), SramLayout::kCodeBase);
+  img.entry_dma = img.program.label("send_chunk");
+  img.entry_tx = img.program.label("send_chunk_tx");
+  return img;
+}
+
+}  // namespace myri::mcp

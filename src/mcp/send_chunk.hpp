@@ -1,0 +1,31 @@
+// The MCP's send path, written in the emulated LANai ISA.
+//
+// This is the serial routine the paper's fault-injection campaign targets:
+// "send_chunk corresponds to a serial piece of code that is executed by the
+// LANai each time a message is sent out, [so] we are assured that all the
+// faults are activated" (paper Section 2). It runs in two phases because
+// the MCP is event-driven: phase A programs the host->SRAM payload DMA and
+// returns; phase B runs on DMA completion, builds the TX descriptor and
+// hands it to the packet interface.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "lanai/assembler.hpp"
+
+namespace myri::mcp {
+
+/// Assembly source text (exposed for tests and for documentation).
+const std::string& send_chunk_source();
+
+struct SendChunkImage {
+  lanai::Program program;     // assembled at SramLayout::kCodeBase
+  std::uint32_t entry_dma;    // phase A entry ("send_chunk")
+  std::uint32_t entry_tx;     // phase B entry ("send_chunk_tx")
+};
+
+/// Assemble the routine for the standard code base address.
+SendChunkImage assemble_send_chunk();
+
+}  // namespace myri::mcp

@@ -1,0 +1,59 @@
+// SRAM memory map used by the MCP.
+//
+// The code segment starts at 0x1000 so that the reset vector (address 0)
+// stays distinct from live code: a corrupted jump that lands on 0 is the
+// "MCP restart" failure category, while jumps into zeroed SRAM fault
+// (opcode 0 is invalid). Everything the interpreted code addresses directly
+// sits below 0x20000 to stay within the ISA's 18-bit immediates.
+#pragma once
+
+#include <cstdint>
+
+namespace myri::mcp {
+
+struct SramLayout {
+  static constexpr std::uint32_t kCodeBase = 0x1000;
+  static constexpr std::uint32_t kCodeLimit = 0x4000;
+
+  /// The FTD writes a magic word here; a live MCP clears it in L_timer().
+  static constexpr std::uint32_t kMagicAddr = 0x4000;
+
+  /// Active send descriptor, filled by the native engine, consumed by the
+  /// interpreted send_chunk. One in flight at a time (host-DMA serializes).
+  static constexpr std::uint32_t kSendDescAddr = 0x4100;
+
+  /// TX descriptor built by send_chunk phase B (lanai::TxDescLayout).
+  static constexpr std::uint32_t kTxDescAddr = 0x4200;
+
+  /// Payload staging slots (send side), one packet each.
+  static constexpr std::uint32_t kSendStagingBase = 0x8000;
+  static constexpr std::uint32_t kStagingSlotSize = 0x1000;  // 4 KB
+  static constexpr std::uint32_t kNumSendSlots = 8;
+
+  /// Receive staging (native recv path).
+  static constexpr std::uint32_t kRecvStagingBase = 0x10000;
+  static constexpr std::uint32_t kNumRecvSlots = 8;
+};
+
+/// Send descriptor field offsets (from kSendDescAddr). The interpreted
+/// send_chunk reads these with fixed immediates; keep in sync with
+/// mcp/send_chunk.cpp.
+struct SendDescLayout {
+  static constexpr std::uint32_t kHostAddr = 0;
+  static constexpr std::uint32_t kStagingAddr = 4;
+  static constexpr std::uint32_t kLen = 8;
+  static constexpr std::uint32_t kSeq = 12;
+  static constexpr std::uint32_t kStream = 16;
+  static constexpr std::uint32_t kDst = 20;
+  static constexpr std::uint32_t kDstPort = 24;
+  static constexpr std::uint32_t kSrcPort = 28;
+  static constexpr std::uint32_t kMsgId = 32;
+  static constexpr std::uint32_t kMsgLen = 36;
+  static constexpr std::uint32_t kFragOffset = 40;
+  static constexpr std::uint32_t kFlags = 44;       // bit0 prio, bit1 resend,
+                                                    // bit2 directed
+  static constexpr std::uint32_t kTarget = 48;      // directed target vaddr
+  static constexpr std::uint32_t kSize = 52;
+};
+
+}  // namespace myri::mcp

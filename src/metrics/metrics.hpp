@@ -1,0 +1,60 @@
+// Measurement helpers for the benches: latency distributions, bandwidth,
+// and utilization accounting over virtual time.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace myri::metrics {
+
+class LatencyRecorder {
+ public:
+  void add(sim::Time t) { samples_.push_back(t); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+
+  [[nodiscard]] double mean_us() const {
+    if (samples_.empty()) return 0.0;
+    long double sum = 0;
+    for (auto s : samples_) sum += static_cast<long double>(s);
+    return static_cast<double>(sum / samples_.size()) / 1000.0;
+  }
+
+  [[nodiscard]] double min_us() const {
+    if (samples_.empty()) return 0.0;
+    return sim::to_usec(*std::min_element(samples_.begin(), samples_.end()));
+  }
+
+  [[nodiscard]] double max_us() const {
+    if (samples_.empty()) return 0.0;
+    return sim::to_usec(*std::max_element(samples_.begin(), samples_.end()));
+  }
+
+  /// p in [0,100]; nearest-rank percentile.
+  [[nodiscard]] double percentile_us(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<sim::Time> s = samples_;
+    std::sort(s.begin(), s.end());
+    const auto idx = static_cast<std::size_t>(
+        std::min<double>(s.size() - 1, p / 100.0 * s.size()));
+    return sim::to_usec(s[idx]);
+  }
+
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<sim::Time> samples_;
+};
+
+/// Sustained data rate of `bytes` moved during [start, end].
+inline double bandwidth_mb_per_s(std::uint64_t bytes, sim::Time start,
+                                 sim::Time end) {
+  if (end <= start) return 0.0;
+  // bytes / us == MB/s.
+  return static_cast<double>(bytes) / sim::to_usec(end - start);
+}
+
+}  // namespace myri::metrics

@@ -1,0 +1,323 @@
+#include "mpi/comm.hpp"
+
+#include <cstring>
+
+namespace myri::mpi {
+
+namespace {
+
+// Internal collective tags live above the user range: user tags must be
+// in [0, 2^24). Layout: [kind:4][generation:16][round:8] above bit 24.
+constexpr int kCollBase = 1 << 24;
+constexpr int kBarrierKind = 1;
+constexpr int kBcastKind = 2;
+constexpr int kReduceKind = 3;
+
+constexpr int make_coll_tag(int kind, std::uint32_t gen, int round) {
+  return kCollBase + (kind << 20) + static_cast<int>((gen & 0xfff) << 8) +
+         round;
+}
+
+// Message framing: [i32 tag][i32 src rank][payload].
+constexpr std::size_t kHeaderBytes = 8;
+
+void put_i32(std::vector<std::byte>& v, int x) {
+  for (int i = 0; i < 4; ++i) {
+    v.push_back(static_cast<std::byte>((x >> (8 * i)) & 0xff));
+  }
+}
+
+int get_i32(std::span<const std::byte> v, std::size_t off) {
+  int x = 0;
+  for (int i = 0; i < 4; ++i) {
+    x |= std::to_integer<int>(v[off + i]) << (8 * i);
+  }
+  return x;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// Comm
+// --------------------------------------------------------------------------
+
+Comm::Comm(std::vector<gm::Node*> nodes, Config cfg)
+    : cfg_(cfg), nodes_(std::move(nodes)) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    gm::Port::Config pc;
+    pc.send_tokens = static_cast<std::uint32_t>(cfg_.send_slots) + 2;
+    pc.recv_tokens = static_cast<std::uint32_t>(cfg_.recv_slots) + 2;
+    gm::Port& port = nodes_[i]->open_port(cfg_.gm_port, pc);
+    ranks_.emplace_back(new Rank(*this, static_cast<int>(i), port));
+  }
+}
+
+void Comm::abort(const std::string& why) {
+  if (aborted_) return;
+  aborted_ = true;
+  abort_reason_ = why;
+}
+
+// --------------------------------------------------------------------------
+// Rank
+// --------------------------------------------------------------------------
+
+Rank::Rank(Comm& comm, int rank, gm::Port& port)
+    : comm_(comm), rank_(rank), port_(&port) {
+  // Receive side: post buffers and install the demultiplexer.
+  for (int i = 0; i < comm_.cfg_.recv_slots; ++i) {
+    port_->provide_receive_buffer(port_->alloc_dma_buffer(comm_.cfg_.max_msg));
+  }
+  port_->set_receive_handler(
+      [this](const gm::RecvInfo& info) { on_message(info); });
+  // Send side: a pool of pinned buffers.
+  for (int i = 0; i < comm_.cfg_.send_slots; ++i) {
+    send_pool_.push_back(port_->alloc_dma_buffer(comm_.cfg_.max_msg));
+  }
+}
+
+int Rank::size() const noexcept { return comm_.size(); }
+
+bool Rank::aborted() const noexcept { return comm_.aborted(); }
+
+void Rank::isend(int dst, int tag, std::span<const std::byte> data,
+                 SendDone done) {
+  if (comm_.aborted()) {
+    if (done) done(false);
+    return;
+  }
+  if (data.size() + kHeaderBytes > comm_.cfg_.max_msg) {
+    comm_.abort("message exceeds communicator max_msg");
+    if (done) done(false);
+    return;
+  }
+  ++stats_.sends;
+  QueuedSend qs;
+  qs.dst = dst;
+  qs.framed.reserve(kHeaderBytes + data.size());
+  put_i32(qs.framed, tag);
+  put_i32(qs.framed, rank_);
+  qs.framed.insert(qs.framed.end(), data.begin(), data.end());
+  qs.done = std::move(done);
+  send_queue_.push_back(std::move(qs));
+  pump_sends();
+}
+
+void Rank::pump_sends() {
+  while (!send_queue_.empty() && !send_pool_.empty()) {
+    if (!try_send_now(send_queue_.front())) break;
+    send_queue_.pop_front();
+  }
+}
+
+bool Rank::try_send_now(const QueuedSend& qs) {
+  gm::Buffer buf = send_pool_.back();
+  gm::Node& node = port_->node();
+  if (!node.memory().write(buf.addr, qs.framed)) return false;
+  SendDone done = qs.done;  // copy before the queue entry is destroyed
+  const bool ok = port_->send_with_callback(
+      buf, static_cast<std::uint32_t>(qs.framed.size()),
+      comm_.nodes_[static_cast<std::size_t>(qs.dst)]->id(),
+      comm_.cfg_.gm_port, 0, [this, buf, done](bool success) {
+        send_pool_.push_back(buf);
+        if (!success && comm_.cfg_.abort_on_send_error) {
+          // MPI-over-GM semantics (paper Section 2): a GM send error is
+          // fatal; the distributed application grinds to a halt.
+          comm_.abort("fatal GM send error");
+        }
+        if (done) done(success);
+        pump_sends();
+      });
+  if (!ok) return false;  // out of GM send tokens: retry on a completion
+  send_pool_.pop_back();
+  return true;
+}
+
+void Rank::on_message(const gm::RecvInfo& info) {
+  auto bytes = port_->node().memory().at(info.buffer.addr, info.len);
+  Message msg;
+  if (bytes.size() >= kHeaderBytes) {
+    msg.tag = get_i32(bytes, 0);
+    msg.src = get_i32(bytes, 4);
+    msg.data.assign(bytes.begin() + kHeaderBytes, bytes.end());
+  }
+  // Zero-copy discipline: the buffer goes straight back to the LANai.
+  port_->provide_receive_buffer(info.buffer);
+  ++stats_.recvs;
+  deliver(std::move(msg));
+}
+
+void Rank::deliver(Message msg) {
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    const bool src_ok = it->src == kAnySource || it->src == msg.src;
+    const bool tag_ok = it->tag == kAnyTag || it->tag == msg.tag;
+    if (src_ok && tag_ok) {
+      RecvK k = std::move(it->k);
+      pending_.erase(it);
+      k(std::move(msg));
+      return;
+    }
+  }
+  ++stats_.unexpected;
+  unexpected_.push_back(std::move(msg));
+}
+
+void Rank::irecv(int src, int tag, RecvK k) {
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    const bool src_ok = src == kAnySource || src == it->src;
+    const bool tag_ok = tag == kAnyTag || tag == it->tag;
+    if (src_ok && tag_ok) {
+      Message msg = std::move(*it);
+      unexpected_.erase(it);
+      k(std::move(msg));
+      return;
+    }
+  }
+  pending_.push_back({src, tag, std::move(k)});
+}
+
+// --------------------------------------------------------------------------
+// Collectives
+// --------------------------------------------------------------------------
+
+void Rank::barrier(std::function<void()> done) {
+  ++stats_.collectives;
+  const std::uint32_t gen = coll_gen_++;
+  const int n = size();
+  if (n <= 1) {
+    if (done) done();
+    return;
+  }
+  // Dissemination barrier: ceil(log2 n) rounds of send/recv at doubling
+  // distances. Progress is gated on the receive of each round.
+  struct State {
+    int round = 0;
+    std::function<void()> done;
+    std::function<void(State*)> step;
+  };
+  auto* st = new State{0, std::move(done), nullptr};
+  st->step = [this, n, gen](State* s) {
+    const int dist = 1 << s->round;
+    if (dist >= n) {
+      auto d = std::move(s->done);
+      delete s;
+      if (d) d();
+      return;
+    }
+    const int to = (rank_ + dist) % n;
+    const int from = ((rank_ - dist) % n + n) % n;
+    const int tag = make_coll_tag(kBarrierKind, gen, s->round);
+    isend(to, tag, {});
+    irecv(from, tag, [s](Message) {
+      ++s->round;
+      s->step(s);
+    });
+  };
+  st->step(st);
+}
+
+void Rank::bcast(int root, std::vector<std::byte>* data,
+                 std::function<void()> done) {
+  ++stats_.collectives;
+  const std::uint32_t gen = coll_gen_++;
+  const int n = size();
+  const int vr = ((rank_ - root) % n + n) % n;
+
+  auto forward = [this, n, vr, root, gen, data,
+                  done = std::move(done)](int recv_mask) {
+    // Send down the binomial tree: all masks below the one we received on.
+    for (int mask = recv_mask >> 1; mask > 0; mask >>= 1) {
+      if (vr + mask < n) {
+        const int to = (vr + mask + root) % n;
+        isend(to, make_coll_tag(kBcastKind, gen, 0), *data);
+      }
+    }
+    if (done) done();
+  };
+
+  if (vr == 0) {
+    // Root: its "receive mask" is the smallest power of two >= n.
+    int mask = 1;
+    while (mask < n) mask <<= 1;
+    forward(mask);
+    return;
+  }
+  // Non-root: parent strips the lowest set bit of vr.
+  const int lowbit = vr & -vr;
+  const int parent = (vr - lowbit + root) % n;
+  irecv(parent, make_coll_tag(kBcastKind, gen, 0),
+        [data, forward, lowbit](Message msg) {
+          *data = std::move(msg.data);
+          forward(lowbit);
+        });
+}
+
+void Rank::reduce_sum(int root, double value,
+                      std::function<void(double)> done) {
+  ++stats_.collectives;
+  const std::uint32_t gen = coll_gen_++;
+  const int n = size();
+  const int vr = ((rank_ - root) % n + n) % n;
+
+  struct State {
+    double acc;
+    int mask = 1;
+    std::function<void(double)> done;
+    std::function<void(State*)> step;
+  };
+  auto* st = new State{value, 1, std::move(done), nullptr};
+  st->step = [this, n, vr, root, gen](State* s) {
+    if (s->mask >= n) {
+      // Only the root reaches here with the full sum.
+      auto d = std::move(s->done);
+      const double acc = s->acc;
+      delete s;
+      if (d) d(acc);
+      return;
+    }
+    if (vr & s->mask) {
+      // Leaf for this round: ship the partial sum to the parent and stop.
+      const int parent = (vr - s->mask + root) % n;
+      isend(parent, make_coll_tag(kReduceKind, gen, 0), as_bytes(s->acc));
+      auto d = std::move(s->done);
+      delete s;
+      if (d) d(0.0);  // result is only valid at the root
+      return;
+    }
+    const int partner = vr + s->mask;
+    if (partner < n) {
+      const int from = (partner + root) % n;
+      irecv(from, make_coll_tag(kReduceKind, gen, 0), [s](Message msg) {
+        s->acc += from_bytes<double>(msg.data);
+        s->mask <<= 1;
+        s->step(s);
+      });
+    } else {
+      s->mask <<= 1;
+      s->step(s);
+    }
+  };
+  st->step(st);
+}
+
+void Rank::allreduce_sum(double value, std::function<void(double)> done) {
+  // Reduce to rank 0, then broadcast the result.
+  reduce_sum(0, value, [this, done = std::move(done)](double sum) {
+    auto* buf = new std::vector<std::byte>();
+    if (rank_ == 0) {
+      buf->resize(sizeof(double));
+      std::memcpy(buf->data(), &sum, sizeof(double));
+    }
+    bcast(0, buf, [buf, done = std::move(done)] {
+      const double total = from_bytes<double>(*buf);
+      delete buf;
+      if (done) done(total);
+    });
+  });
+}
+
+int Rank::coll_tag(int kind, int round) const {
+  return make_coll_tag(kind, coll_gen_, round);
+}
+
+}  // namespace myri::mpi

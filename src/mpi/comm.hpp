@@ -1,0 +1,171 @@
+// A miniature MPI-style middleware over GM ("mmpi").
+//
+// The paper motivates FTGM with exactly this layer: "Middleware, such as
+// MPI, built on top of GM, consider GM send errors to be fatal and exit
+// when they encounter such errors. This can cause a distributed
+// application using MPI to come to a grinding halt if proper fault
+// tolerance is not implemented" (Section 2). This module provides ranks,
+// tagged point-to-point messaging with MPI matching semantics (wildcards,
+// unexpected-message queue), and dissemination/binomial-tree collectives —
+// all on the unmodified GM API, so the same middleware binary runs over
+// baseline GM (where a NIC hang kills the job) and over FTGM (where it
+// doesn't; the recovery is invisible up here).
+//
+// The simulation is event-driven, so the API is continuation-based:
+// isend/irecv take completion callbacks instead of blocking.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "gm/node.hpp"
+#include "gm/port.hpp"
+
+namespace myri::mpi {
+
+/// Wildcards for irecv matching (MPI_ANY_SOURCE / MPI_ANY_TAG).
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// An arrived message as delivered to an irecv continuation.
+struct Message {
+  int src = -1;
+  int tag = 0;
+  std::vector<std::byte> data;
+};
+
+struct RankStats {
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+  std::uint64_t unexpected = 0;   // arrived before a matching irecv
+  std::uint64_t collectives = 0;
+};
+
+class Comm;
+
+/// One MPI process (one GM port on one node).
+class Rank {
+ public:
+  using SendDone = std::function<void(bool ok)>;
+  using RecvK = std::function<void(Message)>;
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept;
+
+  /// Non-blocking tagged send; `done(ok)` fires when the send token
+  /// returns. With abort_on_send_error (the default, matching MPI-over-GM
+  /// semantics), a failed send aborts the whole job instead.
+  void isend(int dst, int tag, std::span<const std::byte> data,
+             SendDone done = nullptr);
+
+  /// Post a receive; `k` fires with the matching message. Matching is
+  /// MPI-like: FIFO by posting order, wildcards allowed, and messages that
+  /// arrive before a matching post wait in the unexpected queue.
+  void irecv(int src, int tag, RecvK k);
+
+  // ---- collectives (dissemination / binomial tree) ----
+  void barrier(std::function<void()> done);
+  void bcast(int root, std::vector<std::byte>* data,
+             std::function<void()> done);
+  void reduce_sum(int root, double value, std::function<void(double)> done);
+  void allreduce_sum(double value, std::function<void(double)> done);
+
+  /// True once the job aborted (fatal GM send error, MPI-over-GM style).
+  [[nodiscard]] bool aborted() const noexcept;
+  [[nodiscard]] const RankStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] gm::Port& port() noexcept { return *port_; }
+
+ private:
+  friend class Comm;
+  struct PendingRecv {
+    int src;
+    int tag;
+    RecvK k;
+  };
+  struct QueuedSend {
+    int dst;
+    std::vector<std::byte> framed;
+    SendDone done;
+  };
+
+  Rank(Comm& comm, int rank, gm::Port& port);
+  void on_message(const gm::RecvInfo& info);
+  void deliver(Message msg);
+  void pump_sends();
+  bool try_send_now(const QueuedSend& qs);
+
+  // Collective plumbing: internal tags carry (kind | generation | round).
+  [[nodiscard]] int coll_tag(int kind, int round) const;
+
+  Comm& comm_;
+  int rank_;
+  gm::Port* port_;
+  std::deque<PendingRecv> pending_;
+  std::deque<Message> unexpected_;
+  std::deque<QueuedSend> send_queue_;
+  std::vector<gm::Buffer> send_pool_;   // free pinned send buffers
+  std::uint32_t coll_gen_ = 0;          // disambiguates back-to-back collectives
+  RankStats stats_;
+};
+
+/// The communicator: one Rank per node, all on the same GM port id.
+class Comm {
+ public:
+  struct Config {
+    std::uint8_t gm_port = 6;
+    std::uint32_t max_msg = 64 * 1024;  // buffer size per slot
+    int send_slots = 8;
+    int recv_slots = 16;
+    /// Faithful MPI-over-GM behaviour: a GM send error is fatal for the
+    /// whole job (paper Section 2). Disable to get error-returning sends.
+    bool abort_on_send_error = true;
+  };
+
+  /// Build a communicator over `nodes` (rank i lives on nodes[i]). Ports
+  /// are opened here; run the simulation ~1 ms before communicating so the
+  /// control path processes the opens.
+  Comm(std::vector<gm::Node*> nodes, Config cfg);
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(ranks_.size());
+  }
+  [[nodiscard]] Rank& rank(int r) { return *ranks_.at(r); }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  [[nodiscard]] bool aborted() const noexcept { return aborted_; }
+  /// Abort the job (fatal error semantics); all ranks observe it.
+  void abort(const std::string& why);
+  [[nodiscard]] const std::string& abort_reason() const noexcept {
+    return abort_reason_;
+  }
+
+ private:
+  friend class Rank;
+  Config cfg_;
+  std::vector<gm::Node*> nodes_;
+  std::vector<std::unique_ptr<Rank>> ranks_;
+  bool aborted_ = false;
+  std::string abort_reason_;
+};
+
+// ---- helpers for typed payloads ----
+
+template <typename T>
+std::span<const std::byte> as_bytes(const T& v) {
+  return std::as_bytes(std::span<const T, 1>(&v, 1));
+}
+
+template <typename T>
+T from_bytes(const std::vector<std::byte>& data) {
+  T v{};
+  if (data.size() >= sizeof(T)) std::memcpy(&v, data.data(), sizeof(T));
+  return v;
+}
+
+}  // namespace myri::mpi

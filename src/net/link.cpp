@@ -1,0 +1,85 @@
+#include "net/link.hpp"
+
+#include <cassert>
+
+namespace myri::net {
+
+Link::Link(sim::EventQueue& eq, sim::Rng rng, Config cfg, std::string name)
+    : eq_(eq), rng_(std::move(rng)), cfg_(cfg), name_(std::move(name)) {}
+
+void Link::connect(PacketSink& dst, std::uint8_t dst_port) {
+  dst_ = &dst;
+  dst_port_ = dst_port;
+}
+
+bool Link::can_accept() const { return queued_ < cfg_.max_queued_packets; }
+
+sim::Time Link::serialization_time(std::size_t bytes) const {
+  // bits / (Gb/s) = ns exactly, so: bytes * 8 / gbps nanoseconds.
+  return static_cast<sim::Time>(static_cast<double>(bytes) * 8.0 / cfg_.gbps);
+}
+
+void Link::apply_faults(Packet& pkt, bool& drop) {
+  drop = false;
+  if (rng_.bernoulli(faults_.drop_prob)) {
+    drop = true;
+    ++stats_.dropped;
+    return;
+  }
+  if (rng_.bernoulli(faults_.corrupt_prob)) {
+    ++stats_.corrupted;
+    if (!pkt.payload.empty()) {
+      const std::size_t bit = static_cast<std::size_t>(
+          rng_.below(pkt.payload.size() * 8));
+      pkt.payload[bit / 8] ^= std::byte{static_cast<unsigned char>(
+          1u << (bit % 8))};
+    } else {
+      // Header corruption on a payload-less packet (e.g. an ACK).
+      pkt.seq ^= 1u << rng_.below(32);
+    }
+    // crc left as-is: the receiver's CRC check catches the damage.
+  }
+  if (!pkt.route.empty() && rng_.bernoulli(faults_.misroute_prob)) {
+    ++stats_.misrouted;
+    pkt.route.front() =
+        static_cast<std::uint8_t>(pkt.route.front() ^ (1u + rng_.below(7)));
+  }
+}
+
+void Link::send(Packet pkt) {
+  assert(dst_ != nullptr && "link not connected");
+  ++stats_.sent;
+  stats_.bytes += pkt.wire_size();
+  if (down_) {
+    ++stats_.dropped;  // unplugged cable: everything is lost
+    return;
+  }
+
+  bool drop = false;
+  apply_faults(pkt, drop);
+  if (drop) {
+    if (trace_ && trace_->on(sim::TraceCat::kNet)) {
+      trace_->log(sim::TraceCat::kNet, eq_.now(), name_,
+                  "DROP " + pkt.describe());
+    }
+    return;
+  }
+
+  const sim::Time depart = std::max(eq_.now(), busy_until_);
+  const sim::Time ser = serialization_time(pkt.wire_size());
+  busy_until_ = depart + ser;
+  const sim::Time arrive = busy_until_ + cfg_.propagation;
+
+  ++queued_;
+  if (trace_ && trace_->on(sim::TraceCat::kNet)) {
+    trace_->log(sim::TraceCat::kNet, eq_.now(), name_,
+                "TX " + pkt.describe());
+  }
+  eq_.schedule_at(arrive, [this, p = std::move(pkt)]() mutable {
+    --queued_;
+    ++stats_.delivered;
+    dst_->deliver(std::move(p), dst_port_);
+  });
+}
+
+}  // namespace myri::net

@@ -1,0 +1,100 @@
+// Payload carried by mapper scout replies.
+//
+// When a MAP_SCOUT's route ends at a device, the device answers with a
+// MAP_REPLY describing itself, sent back along the reversed walked route.
+// This mirrors how the GM mapper discovers Myrinet topologies by probing
+// routes and reading back device identities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace myri::net {
+
+enum class DeviceKind : std::uint8_t { kSwitch = 1, kInterface = 2 };
+
+struct MapReplyInfo {
+  DeviceKind kind = DeviceKind::kInterface;
+  std::uint16_t id = 0;      // switch id or interface NodeId
+  std::uint8_t ports = 1;    // port count (1 for interfaces)
+  /// Input ports the scout recorded on its way here; lets the mapper learn
+  /// the far end of each cable (switch port <-> switch port).
+  std::vector<std::uint8_t> walked;
+
+  [[nodiscard]] std::vector<std::byte> encode() const {
+    std::vector<std::byte> out = {
+        std::byte{static_cast<unsigned char>(kind)},
+        std::byte{static_cast<unsigned char>(id & 0xff)},
+        std::byte{static_cast<unsigned char>(id >> 8)},
+        std::byte{ports},
+        std::byte{static_cast<unsigned char>(walked.size())}};
+    for (auto b : walked) out.push_back(std::byte{b});
+    return out;
+  }
+
+  static MapReplyInfo decode(const std::vector<std::byte>& p) {
+    MapReplyInfo info;
+    if (p.size() >= 5) {
+      info.kind = static_cast<DeviceKind>(p[0]);
+      info.id = static_cast<std::uint16_t>(std::to_integer<unsigned>(p[1]) |
+                                           std::to_integer<unsigned>(p[2])
+                                               << 8);
+      info.ports = std::to_integer<std::uint8_t>(p[3]);
+      const auto n = std::to_integer<std::size_t>(p[4]);
+      for (std::size_t i = 0; i < n && 5 + i < p.size(); ++i) {
+        info.walked.push_back(std::to_integer<std::uint8_t>(p[5 + i]));
+      }
+    }
+    return info;
+  }
+};
+
+/// Route back to the prober: reverse the recorded input ports.
+inline std::vector<std::uint8_t> reverse_route(
+    const std::vector<std::uint8_t>& walked) {
+  return {walked.rbegin(), walked.rend()};
+}
+
+/// Route-table entry carried in MAP_ROUTE packets.
+struct RouteEntry {
+  NodeId dst = kInvalidNode;
+  std::vector<std::uint8_t> route;
+};
+
+/// Encode route-table entries for distribution: [u16 dst][u8 len][bytes]*.
+inline std::vector<std::byte> encode_route_update(
+    const std::vector<RouteEntry>& entries) {
+  std::vector<std::byte> out;
+  for (const auto& e : entries) {
+    out.push_back(std::byte{static_cast<unsigned char>(e.dst & 0xff)});
+    out.push_back(std::byte{static_cast<unsigned char>(e.dst >> 8)});
+    out.push_back(std::byte{static_cast<unsigned char>(e.route.size())});
+    for (auto b : e.route) out.push_back(std::byte{b});
+  }
+  return out;
+}
+
+inline std::vector<RouteEntry> decode_route_update(
+    const std::vector<std::byte>& p) {
+  std::vector<RouteEntry> out;
+  std::size_t i = 0;
+  while (i + 3 <= p.size()) {
+    RouteEntry e;
+    e.dst = static_cast<NodeId>(std::to_integer<unsigned>(p[i]) |
+                                std::to_integer<unsigned>(p[i + 1]) << 8);
+    const auto len = std::to_integer<std::size_t>(p[i + 2]);
+    i += 3;
+    if (i + len > p.size()) break;  // truncated/corrupt update: stop
+    e.route.reserve(len);
+    for (std::size_t k = 0; k < len; ++k) {
+      e.route.push_back(std::to_integer<std::uint8_t>(p[i + k]));
+    }
+    i += len;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace myri::net

@@ -1,0 +1,98 @@
+#include "net/packet.hpp"
+
+#include <array>
+#include <sstream>
+
+namespace myri::net {
+
+const char* to_string(PacketType t) {
+  switch (t) {
+    case PacketType::kData: return "DATA";
+    case PacketType::kAck: return "ACK";
+    case PacketType::kNack: return "NACK";
+    case PacketType::kGetReq: return "GET_REQ";
+    case PacketType::kMapScout: return "MAP_SCOUT";
+    case PacketType::kMapReply: return "MAP_REPLY";
+    case PacketType::kMapRoute: return "MAP_ROUTE";
+    case PacketType::kControl: return "CONTROL";
+  }
+  return "?";
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const auto table = make_crc_table();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len,
+                    std::uint32_t seed) {
+  std::uint32_t c = seed;
+  const auto& t = crc_table();
+  for (std::size_t i = 0; i < len; ++i) {
+    c = t[(c ^ data[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+std::uint32_t Packet::compute_crc() const {
+  // Serialize header fields into a flat buffer, then fold in the payload.
+  std::array<std::uint32_t, 12> hdr = {
+      static_cast<std::uint32_t>(type),
+      static_cast<std::uint32_t>(src) << 16 | dst,
+      static_cast<std::uint32_t>(src_port) << 16 | dst_port,
+      priority,
+      stream,
+      seq,
+      ack_seq,
+      msg_id,
+      msg_len,
+      frag_offset,
+      (directed ? 1u : 0u) | (notify ? 2u : 0u),
+      target_vaddr,
+  };
+  std::uint32_t c = 0xffffffffu;
+  const auto& t = crc_table();
+  auto fold = [&](const std::uint8_t* p, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) c = t[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  };
+  fold(reinterpret_cast<const std::uint8_t*>(hdr.data()),
+       hdr.size() * sizeof(std::uint32_t));
+  fold(reinterpret_cast<const std::uint8_t*>(payload.data()), payload.size());
+  return c ^ 0xffffffffu;
+}
+
+std::size_t Packet::wire_size() const {
+  // Myrinet framing: route bytes + 16-byte GM header + payload + 4-byte CRC.
+  constexpr std::size_t kHeaderBytes = 16;
+  constexpr std::size_t kCrcBytes = 4;
+  return route.size() + kHeaderBytes + payload.size() + kCrcBytes;
+}
+
+std::string Packet::describe() const {
+  std::ostringstream os;
+  os << to_string(type) << " " << src << ":" << int(src_port) << "->" << dst
+     << ":" << int(dst_port) << " stream=" << stream << " seq=" << seq;
+  if (type == PacketType::kAck || type == PacketType::kNack) {
+    os << " ack_seq=" << ack_seq;
+  }
+  os << " len=" << payload.size();
+  return os.str();
+}
+
+}  // namespace myri::net

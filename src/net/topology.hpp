@@ -1,0 +1,69 @@
+// Fabric construction: owns switches and links, wires full-duplex cables.
+//
+// A physical Myrinet cable is full duplex; we model it as two unidirectional
+// Links. Endpoints (NIC packet interfaces) attach with exactly one port.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/switch.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace myri::net {
+
+class Topology {
+ public:
+  Topology(sim::EventQueue& eq, sim::Rng& rng, Link::Config link_cfg = {},
+           Switch::Config switch_cfg = {});
+
+  /// Create a switch with `ports` ports; returns its switch id.
+  std::uint16_t add_switch(std::uint8_t ports, std::string name = "");
+
+  /// Full-duplex cable identifier (for failure injection).
+  using CableId = std::size_t;
+
+  /// Cable between two switch ports (both directions).
+  CableId connect_switches(std::uint16_t a, std::uint8_t port_a,
+                           std::uint16_t b, std::uint8_t port_b);
+
+  /// Fail / restore a cable: both directions drop everything while down.
+  /// The mapper's next run routes around it (paper Section 2: the GM
+  /// mapper reconfigures when links or nodes appear or disappear).
+  void set_cable_down(CableId cable, bool down);
+
+  /// Cable between an endpoint and a switch port. Returns the Link the
+  /// endpoint transmits on (endpoint -> switch); arriving packets are
+  /// delivered to `sink` with in_port = 0.
+  Link& attach_endpoint(PacketSink& sink, std::uint16_t sw, std::uint8_t port,
+                        std::string name);
+
+  /// Apply a fault profile to every link (typical for error-rate sweeps).
+  void set_all_faults(const LinkFaults& f);
+
+  void set_trace(sim::Trace* t);
+
+  [[nodiscard]] Switch& get_switch(std::uint16_t id) {
+    return *switches_.at(id);
+  }
+  [[nodiscard]] std::size_t num_switches() const { return switches_.size(); }
+  [[nodiscard]] std::vector<Link*> links();
+
+ private:
+  Link& new_link(std::string name);
+
+  sim::EventQueue& eq_;
+  sim::Rng& rng_;
+  Link::Config link_cfg_;
+  Switch::Config switch_cfg_;
+  std::vector<std::unique_ptr<Switch>> switches_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::pair<Link*, Link*>> cables_;  // switch-to-switch pairs
+  sim::Trace* trace_ = nullptr;
+};
+
+}  // namespace myri::net

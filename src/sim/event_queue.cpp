@@ -1,0 +1,101 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+namespace myri::sim {
+
+struct EventQueue::Handle::Entry {
+  Time at = 0;
+  std::uint64_t seq = 0;
+  Callback cb;
+  bool cancelled = false;
+  bool fired = false;
+  std::size_t* live_counter = nullptr;  // owner's live-event count
+};
+
+void EventQueue::Handle::cancel() {
+  if (auto e = entry_.lock()) {
+    if (!e->fired && !e->cancelled) {
+      e->cancelled = true;
+      e->cb = nullptr;  // release captured resources eagerly
+      if (e->live_counter != nullptr) --*e->live_counter;
+    }
+  }
+}
+
+bool EventQueue::Handle::pending() const {
+  auto e = entry_.lock();
+  return e && !e->fired && !e->cancelled;
+}
+
+namespace {
+// Min-heap on (time, seq): std::push_heap builds a max-heap, so invert.
+bool later(const std::shared_ptr<EventQueue::Handle::Entry>& a,
+           const std::shared_ptr<EventQueue::Handle::Entry>& b) {
+  if (a->at != b->at) return a->at > b->at;
+  return a->seq > b->seq;
+}
+}  // namespace
+
+EventQueue::Handle EventQueue::schedule_at(Time at, Callback cb) {
+  auto e = std::make_shared<Handle::Entry>();
+  e->at = std::max(at, now_);
+  e->seq = next_seq_++;
+  e->cb = std::move(cb);
+  e->live_counter = &live_;
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  ++live_;
+  return Handle(e);
+}
+
+bool EventQueue::pop_and_run() {
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    auto e = std::move(heap_.back());
+    heap_.pop_back();
+    if (e->cancelled) continue;
+    now_ = e->at;
+    e->fired = true;
+    --live_;
+    ++executed_;
+    // Run after the entry leaves the heap so the callback may schedule
+    // or cancel freely, including rescheduling itself.
+    Callback cb = std::move(e->cb);
+    cb();
+    return true;
+  }
+  return false;
+}
+
+bool EventQueue::step() {
+  // Drop leading cancelled entries lazily; live_ tracks real work.
+  if (live_ == 0) {
+    heap_.clear();
+    return false;
+  }
+  return pop_and_run();
+}
+
+std::size_t EventQueue::run_until(Time t) {
+  std::size_t n = 0;
+  while (live_ > 0) {
+    // Peek: skim cancelled heads first.
+    while (!heap_.empty() && heap_.front()->cancelled) {
+      std::pop_heap(heap_.begin(), heap_.end(), later);
+      heap_.pop_back();
+    }
+    if (heap_.empty() || heap_.front()->at > t) break;
+    if (pop_and_run()) ++n;
+  }
+  now_ = std::max(now_, t);
+  return n;
+}
+
+std::size_t EventQueue::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+}  // namespace myri::sim

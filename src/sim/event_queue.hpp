@@ -1,0 +1,88 @@
+// Discrete-event simulation kernel.
+//
+// A single EventQueue drives the whole simulated cluster: hosts, NICs,
+// switches and daemons all schedule closures against one virtual clock.
+// Events at equal timestamps run in FIFO scheduling order, which keeps every
+// experiment fully deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace myri::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Cancellation handle for a scheduled event. Copyable; outliving the
+  /// queue or the event firing is safe (cancel becomes a no-op).
+  class Handle {
+   public:
+    Handle() = default;
+
+    /// Prevent the event from firing. No-op if already fired or cancelled.
+    void cancel();
+
+    /// True if the event is still waiting to fire.
+    [[nodiscard]] bool pending() const;
+
+    struct Entry;  // implementation detail, defined in event_queue.cpp
+
+   private:
+    friend class EventQueue;
+    explicit Handle(std::shared_ptr<Entry> e) : entry_(std::move(e)) {}
+    std::weak_ptr<Entry> entry_;
+  };
+
+  /// Current virtual time.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedule `cb` at absolute time `at` (clamped to now if in the past).
+  Handle schedule_at(Time at, Callback cb);
+
+  /// Schedule `cb` after `delay` nanoseconds of virtual time.
+  Handle schedule_after(Time delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Run the next pending event, advancing the clock. False if queue empty.
+  bool step();
+
+  /// Run all events with timestamp <= t; the clock ends exactly at t.
+  /// Returns the number of events executed.
+  std::size_t run_until(Time t);
+
+  /// Run all events within the next `d` nanoseconds.
+  std::size_t run_for(Time d) { return run_until(now_ + d); }
+
+  /// Run until the queue drains or `max_events` have executed.
+  /// The cap guards tests against runaway self-rescheduling loops.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// True if no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+
+  /// Number of live events waiting.
+  [[nodiscard]] std::size_t pending_events() const noexcept { return live_; }
+
+  /// Total events executed since construction (for diagnostics).
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct HeapCmp;
+  bool pop_and_run();
+
+  std::vector<std::shared_ptr<Handle::Entry>> heap_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace myri::sim

@@ -1,0 +1,63 @@
+// Deterministic, seedable random number generation.
+//
+// Every stochastic component (link error injection, fault campaigns, jitter)
+// draws from an explicitly seeded Rng so experiments are reproducible run to
+// run. Components that need independent streams derive them with fork() so
+// adding draws in one component does not perturb another.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace myri::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : eng_(seed) {}
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() { return eng_(); }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(eng_);
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t below(std::uint64_t n) {
+    return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(eng_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(eng_);
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(eng_);
+  }
+
+  /// Pick a uniformly random element; v must be non-empty.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[static_cast<std::size_t>(below(v.size()))];
+  }
+
+  /// Derive an independent generator for stream id `stream`.
+  Rng fork(std::uint64_t stream) {
+    // Mix the stream id through splitmix64 so neighbouring ids decorrelate.
+    std::uint64_t z = next_u64() + 0x9e3779b97f4a7c15ull * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return Rng(z ^ (z >> 31));
+  }
+
+ private:
+  std::mt19937_64 eng_;
+};
+
+}  // namespace myri::sim

@@ -1,0 +1,52 @@
+// Virtual time for the discrete-event simulation.
+//
+// All simulation timestamps are unsigned nanoseconds from simulation start.
+// The paper reports results in microseconds; helpers here convert both ways
+// so calibration constants can be written in the paper's units.
+#pragma once
+
+#include <cstdint>
+
+namespace myri::sim {
+
+/// Virtual time in nanoseconds since simulation start.
+using Time = std::uint64_t;
+
+/// Signed duration in nanoseconds (for differences).
+using Duration = std::int64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1000;
+inline constexpr Time kMillisecond = 1000 * 1000;
+inline constexpr Time kSecond = 1000ull * 1000ull * 1000ull;
+
+/// Whole-microsecond duration.
+constexpr Time usec(std::uint64_t u) noexcept { return u * kMicrosecond; }
+
+/// Fractional-microsecond duration (e.g. the paper's 0.25 us overheads).
+constexpr Time usecf(double u) noexcept {
+  return static_cast<Time>(u * static_cast<double>(kMicrosecond) + 0.5);
+}
+
+/// Whole-millisecond duration.
+constexpr Time msec(std::uint64_t m) noexcept { return m * kMillisecond; }
+
+/// Whole-second duration.
+constexpr Time sec(std::uint64_t s) noexcept { return s * kSecond; }
+
+/// Convert a virtual-time duration to (fractional) microseconds for reports.
+constexpr double to_usec(Time t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+/// Convert a virtual-time duration to (fractional) milliseconds for reports.
+constexpr double to_msec(Time t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+/// Convert a virtual-time duration to (fractional) seconds for reports.
+constexpr double to_sec(Time t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+}  // namespace myri::sim

@@ -1,0 +1,20 @@
+#include "sim/trace.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace myri::sim {
+
+void Trace::enable(TraceCat cat, std::ostream* out) {
+  mask_ |= static_cast<std::uint32_t>(cat);
+  out_ = out;
+}
+
+void Trace::log(TraceCat cat, Time now, const std::string& tag,
+                const std::string& msg) const {
+  if (!on(cat)) return;
+  *out_ << '[' << std::setw(12) << std::fixed << std::setprecision(3)
+        << to_usec(now) << " us] " << tag << ": " << msg << '\n';
+}
+
+}  // namespace myri::sim

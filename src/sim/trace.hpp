@@ -1,0 +1,49 @@
+// Lightweight category-gated tracing.
+//
+// Benches run with tracing off; tests that debug protocol interactions can
+// enable a category to get timestamped virtual-time logs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace myri::sim {
+
+enum class TraceCat : std::uint32_t {
+  kNet = 1u << 0,     // link/switch activity
+  kNic = 1u << 1,     // LANai device + DMA engines
+  kMcp = 1u << 2,     // control-program protocol events
+  kHost = 1u << 3,    // driver, PCI, interrupts
+  kGm = 1u << 4,      // user-library API
+  kFt = 1u << 5,      // watchdog, FTD, recovery
+  kMapper = 1u << 6,  // topology discovery
+  kFi = 1u << 7,      // fault injection
+};
+
+class Trace {
+ public:
+  /// Construct with no categories enabled and no sink (fully silent).
+  Trace() = default;
+
+  /// Enable a category; logs go to `out` (must outlive the Trace).
+  void enable(TraceCat cat, std::ostream* out);
+
+  void disable(TraceCat cat) { mask_ &= ~static_cast<std::uint32_t>(cat); }
+
+  [[nodiscard]] bool on(TraceCat cat) const noexcept {
+    return (mask_ & static_cast<std::uint32_t>(cat)) != 0 && out_ != nullptr;
+  }
+
+  /// Emit one line: "[   12.345 us] tag: msg". No-op when the category is off.
+  void log(TraceCat cat, Time now, const std::string& tag,
+           const std::string& msg) const;
+
+ private:
+  std::uint32_t mask_ = 0;
+  std::ostream* out_ = nullptr;
+};
+
+}  // namespace myri::sim

@@ -1,0 +1,93 @@
+// Calibration regression tests: the cost model must keep reproducing the
+// paper's Table 2 within tolerance. These guard against accidental drift
+// when protocol code changes — if one of these fails, either fix the
+// regression or deliberately re-calibrate src/host/timing.hpp AND update
+// EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "bench/common.hpp"
+
+namespace myri {
+namespace {
+
+TEST(Calibration, GmShortMessageLatencyNear11_5us) {
+  double sum = 0;
+  int n = 0;
+  for (const std::uint32_t len : {1u, 50u, 100u}) {
+    sum += bench::run_ping_pong(mcp::McpMode::kGm, len, 40).half_rtt.mean_us();
+    ++n;
+  }
+  EXPECT_NEAR(sum / n, 11.5, 0.8);
+}
+
+TEST(Calibration, FtgmLatencyOverheadNear1_5us) {
+  const double gm =
+      bench::run_ping_pong(mcp::McpMode::kGm, 64, 40).half_rtt.mean_us();
+  const double ft =
+      bench::run_ping_pong(mcp::McpMode::kFtgm, 64, 40).half_rtt.mean_us();
+  EXPECT_NEAR(ft - gm, 1.5, 0.5);
+}
+
+TEST(Calibration, BidirectionalBandwidthNear92MBs) {
+  const auto gm = bench::run_bandwidth_bidir(mcp::McpMode::kGm, 1u << 20, 20);
+  const auto ft =
+      bench::run_bandwidth_bidir(mcp::McpMode::kFtgm, 1u << 20, 20);
+  EXPECT_NEAR(gm.mb_per_s, 92.4, 4.0);
+  EXPECT_NEAR(ft.mb_per_s, 92.0, 4.0);
+  // FTGM imposes no appreciable bandwidth degradation.
+  EXPECT_NEAR(ft.mb_per_s / gm.mb_per_s, 1.0, 0.02);
+}
+
+TEST(Calibration, HostUtilizationMatchesTable2) {
+  const auto gm = bench::run_host_util(mcp::McpMode::kGm, 64, 200);
+  const auto ft = bench::run_host_util(mcp::McpMode::kFtgm, 64, 200);
+  EXPECT_NEAR(gm.send_us_per_msg, 0.30, 0.02);
+  EXPECT_NEAR(ft.send_us_per_msg, 0.55, 0.02);
+  EXPECT_NEAR(gm.recv_us_per_msg, 0.75, 0.02);
+  EXPECT_NEAR(ft.recv_us_per_msg, 1.15, 0.02);
+}
+
+TEST(Calibration, LanaiUtilizationMatchesTable2) {
+  const auto gm = bench::run_host_util(mcp::McpMode::kGm, 64, 300);
+  const auto ft = bench::run_host_util(mcp::McpMode::kFtgm, 64, 300);
+  EXPECT_NEAR(gm.lanai_us_per_msg, 6.0, 0.6);
+  EXPECT_NEAR(ft.lanai_us_per_msg, 6.8, 0.6);
+}
+
+TEST(Calibration, RecoveryBreakdownMatchesTable3) {
+  gm::ClusterConfig cc;
+  cc.nodes = 2;
+  cc.mode = mcp::McpMode::kFtgm;
+  gm::Cluster cluster(cc);
+  auto& tx = cluster.node(0).open_port(2);
+  cluster.run_for(sim::msec(1));
+  sim::Time recovered_at = 0;
+  tx.set_on_recovered([&] { recovered_at = cluster.eq().now(); });
+  cluster.node(0).ftd().mark_fault_injected();
+  cluster.node(0).mcp().inject_hang("calibration");
+  cluster.run_for(sim::sec(3));
+  ASSERT_GT(recovered_at, 0u);
+  const auto& ph = cluster.node(0).ftd().phases();
+  // Detection < 1 ms (paper: ~800 us worst case).
+  EXPECT_LT(sim::to_usec(ph.woken - ph.fault_injected), 1000.0);
+  // FTD phase ~765 ms.
+  EXPECT_NEAR(sim::to_msec(ph.events_posted - ph.woken), 765.0, 30.0);
+  // Per-process phase ~900 ms.
+  EXPECT_NEAR(sim::to_msec(recovered_at - ph.events_posted), 900.0, 30.0);
+  // Complete recovery < 2 s (the paper's headline).
+  EXPECT_LT(sim::to_sec(recovered_at - ph.fault_injected), 2.0);
+}
+
+TEST(Calibration, WireLevelConstants) {
+  // 2 Gb/s link, 4 KB fragmentation, 0.5 us timer tick: the hardware
+  // constants the rest of the model hangs off.
+  sim::EventQueue eq;
+  net::Link link(eq, sim::Rng(1), {}, "l");
+  EXPECT_EQ(link.serialization_time(250), 1000u);  // 250 B @ 2 Gb/s = 1 us
+  EXPECT_EQ(net::kMaxPacketPayload, 4096u);
+  const host::LanaiTiming lt;
+  EXPECT_EQ(lt.timer_tick, sim::usecf(0.5));
+}
+
+}  // namespace
+}  // namespace myri

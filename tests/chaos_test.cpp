@@ -1,0 +1,118 @@
+// Chaos/soak tests: long runs combining lossy links with repeated NIC
+// hangs on multiple nodes. The exactly-once invariant must hold through
+// everything FTGM claims to mask.
+#include <gtest/gtest.h>
+
+#include "faultinject/workload.hpp"
+#include "gm/cluster.hpp"
+#include "sim/rng.hpp"
+
+namespace myri {
+namespace {
+
+struct ChaosCase {
+  std::uint64_t seed;
+  int node_count;
+  int faults;            // number of hangs injected over the run
+  double drop, corrupt;  // link fault rates
+};
+
+class ChaosSweep : public ::testing::TestWithParam<ChaosCase> {};
+
+TEST_P(ChaosSweep, ExactlyOnceThroughRepeatedFaultsAndLoss) {
+  const ChaosCase& tc = GetParam();
+  gm::ClusterConfig cc;
+  cc.nodes = tc.node_count;
+  cc.mode = mcp::McpMode::kFtgm;
+  cc.seed = tc.seed;
+  cc.faults = {tc.drop, tc.corrupt, 0.0};
+  gm::Cluster cluster(cc);
+
+  // A mesh of workloads: node i sends to node (i+1) % n.
+  std::vector<std::unique_ptr<fi::StreamWorkload>> wls;
+  std::vector<gm::Port*> ports;
+  for (int i = 0; i < tc.node_count; ++i) {
+    ports.push_back(&cluster.node(i).open_port(2, {24, 24}));
+  }
+  fi::StreamWorkload::Config wc;
+  wc.total_msgs = 25;
+  wc.msg_len = 1800;
+  cluster.run_for(sim::usec(900));
+  for (int i = 0; i < tc.node_count; ++i) {
+    wls.push_back(std::make_unique<fi::StreamWorkload>(
+        *ports[i], *ports[(i + 1) % tc.node_count], wc));
+    wls.back()->start();
+  }
+
+  // Inject hangs on rotating victims, spaced past the ~1.7 s recovery.
+  sim::Rng rng(tc.seed ^ 0xc0ffee);
+  sim::Time at = sim::usec(50);
+  for (int f = 0; f < tc.faults; ++f) {
+    const int victim = static_cast<int>(rng.below(tc.node_count));
+    cluster.eq().schedule_at(at, [&cluster, victim] {
+      cluster.node(victim).mcp().inject_hang("chaos");
+    });
+    at += sim::sec(2) + sim::usec(rng.below(500'000));
+  }
+
+  // Run long enough for every fault + recovery + redelivery.
+  const sim::Time horizon =
+      at + sim::sec(3) + sim::msec(200 * tc.node_count);
+  while (cluster.eq().now() < horizon) {
+    cluster.run_for(sim::msec(100));
+    bool all = true;
+    for (auto& w : wls) all = all && w->complete();
+    if (all) break;
+  }
+
+  for (int i = 0; i < tc.node_count; ++i) {
+    EXPECT_TRUE(wls[i]->complete())
+        << "stream " << i << ": recv=" << wls[i]->received()
+        << " missing=" << wls[i]->missing()
+        << " dup=" << wls[i]->duplicates();
+    EXPECT_EQ(wls[i]->duplicates(), 0) << "stream " << i;
+    EXPECT_EQ(wls[i]->corrupted(), 0) << "stream " << i;
+  }
+}
+
+std::vector<ChaosCase> chaos_cases() {
+  return {
+      {101, 2, 1, 0.05, 0.05},
+      {102, 2, 2, 0.10, 0.00},
+      {103, 3, 2, 0.00, 0.10},
+      {104, 4, 3, 0.05, 0.05},
+      {105, 4, 2, 0.15, 0.05},
+      {106, 6, 3, 0.03, 0.03},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(Runs, ChaosSweep, ::testing::ValuesIn(chaos_cases()));
+
+TEST(ChaosSoak, ManySequentialFaultsOnOnePair) {
+  // Five consecutive hang/recover cycles on the same sender while a long
+  // verified transfer grinds through.
+  gm::ClusterConfig cc;
+  cc.nodes = 2;
+  cc.mode = mcp::McpMode::kFtgm;
+  gm::Cluster cluster(cc);
+  auto& tx = cluster.node(0).open_port(2);
+  auto& rx = cluster.node(1).open_port(3);
+  fi::StreamWorkload::Config wc;
+  wc.total_msgs = 120;
+  wc.msg_len = 2048;
+  fi::StreamWorkload wl(tx, rx, wc);
+  cluster.run_for(sim::usec(900));
+  wl.start();
+  for (int f = 0; f < 5; ++f) {
+    cluster.eq().schedule_after(sim::msec(100) + sim::sec(2) * f, [&] {
+      cluster.node(0).mcp().inject_hang("soak");
+    });
+  }
+  cluster.run_for(sim::sec(14));
+  EXPECT_TRUE(wl.complete());
+  EXPECT_EQ(wl.duplicates(), 0);
+  EXPECT_EQ(tx.recoveries(), 5u);
+}
+
+}  // namespace
+}  // namespace myri

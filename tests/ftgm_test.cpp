@@ -1,0 +1,565 @@
+// FTGM fault-tolerance tests: backup store, software watchdog, FTD
+// recovery pipeline, transparent per-process recovery, and reproductions
+// of the paper's Figure 4 (duplicates) and Figure 5 (lost messages).
+#include <gtest/gtest.h>
+
+#include "core/backup_store.hpp"
+#include "faultinject/workload.hpp"
+#include "gm/cluster.hpp"
+
+namespace myri {
+namespace {
+
+using gm::Cluster;
+using gm::ClusterConfig;
+
+ClusterConfig ftgm_config() {
+  ClusterConfig cc;
+  cc.nodes = 2;
+  cc.mode = mcp::McpMode::kFtgm;
+  return cc;
+}
+
+ClusterConfig gm_config() {
+  ClusterConfig cc;
+  cc.nodes = 2;
+  cc.mode = mcp::McpMode::kGm;
+  return cc;
+}
+
+// ---------------- BackupStore unit tests ----------------
+
+mcp::SendRequest make_req(std::uint32_t token, std::uint32_t seq = 0) {
+  mcp::SendRequest r;
+  r.token_id = token;
+  r.seq_first = seq;
+  r.dst = 1;
+  r.len = 100;
+  return r;
+}
+
+TEST(BackupStore, SendsKeepPostOrder) {
+  core::BackupStore b;
+  b.add_send(make_req(1));
+  b.add_send(make_req(2));
+  b.add_send(make_req(3));
+  b.remove_send(2);
+  ASSERT_EQ(b.send_count(), 2u);
+  EXPECT_EQ(b.sends()[0].token_id, 1u);
+  EXPECT_EQ(b.sends()[1].token_id, 3u);
+}
+
+TEST(BackupStore, RemoveMissingSendIsNoop) {
+  core::BackupStore b;
+  b.add_send(make_req(1));
+  b.remove_send(99);
+  EXPECT_EQ(b.send_count(), 1u);
+}
+
+TEST(BackupStore, RecvTokensTracked) {
+  core::BackupStore b;
+  mcp::RecvToken t;
+  t.token_id = 5;
+  b.add_recv(t);
+  EXPECT_EQ(b.recv_count(), 1u);
+  b.remove_recv(5);
+  EXPECT_EQ(b.recv_count(), 0u);
+}
+
+TEST(BackupStore, AckTableKeepsMaximum) {
+  core::BackupStore b;
+  b.note_recv_seq(3, 1, 10);
+  b.note_recv_seq(3, 1, 7);   // stale update must not regress
+  b.note_recv_seq(3, 1, 12);
+  ASSERT_EQ(b.ack_table().size(), 1u);
+  EXPECT_EQ(b.ack_table().begin()->second.last_seq, 12u);
+}
+
+TEST(BackupStore, AckTableSeparatesStreams) {
+  core::BackupStore b;
+  b.note_recv_seq(3, 1, 10);
+  b.note_recv_seq(3, 2, 4);
+  b.note_recv_seq(4, 1, 6);
+  EXPECT_EQ(b.ack_table().size(), 3u);
+}
+
+TEST(BackupStore, SeqBlocksAreContiguousPerDestination) {
+  core::BackupStore b;
+  EXPECT_EQ(b.alloc_seq_block(1, 3), 0u);
+  EXPECT_EQ(b.alloc_seq_block(1, 2), 3u);
+  EXPECT_EQ(b.alloc_seq_block(2, 1), 0u);  // independent stream
+  EXPECT_EQ(b.next_seq(1), 5u);
+}
+
+TEST(BackupStore, FootprintIsModest) {
+  // The paper reports ~20 KB of extra virtual memory per process.
+  core::BackupStore b;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    b.add_send(make_req(i));
+    mcp::RecvToken t;
+    t.token_id = 1000 + i;
+    b.add_recv(t);
+    b.note_recv_seq(static_cast<net::NodeId>(i % 8), i % 4, i);
+  }
+  EXPECT_LT(b.approx_bytes(), 20u * 1024u);
+}
+
+TEST(BackupStore, ClearEmptiesEverything) {
+  core::BackupStore b;
+  b.add_send(make_req(1));
+  b.note_recv_seq(1, 1, 1);
+  b.clear();
+  EXPECT_EQ(b.send_count(), 0u);
+  EXPECT_TRUE(b.ack_table().empty());
+}
+
+// ---------------- watchdog detection ----------------
+
+TEST(Watchdog, FiresWithinIntervalAfterHang) {
+  Cluster cluster(ftgm_config());
+  cluster.node(0).open_port(2);
+  cluster.run_for(sim::msec(2));
+  const sim::Time hang_at = cluster.eq().now();
+  cluster.node(0).mcp().inject_hang("test");
+  cluster.run_for(sim::msec(2));
+  EXPECT_EQ(cluster.node(0).driver().fatal_interrupts(), 1u);
+  // Detection latency is bounded by the watchdog interval (820 us) plus
+  // interrupt latency (13 us) — the paper's sub-millisecond detection.
+  const auto& ph = cluster.node(0).ftd().phases();
+  EXPECT_LE(ph.interrupt_raised - hang_at, sim::usecf(850.0));
+}
+
+TEST(Watchdog, NoFalsePositivesUnderHeavyLoad) {
+  Cluster cluster(ftgm_config());
+  auto& p0 = cluster.node(0).open_port(2);
+  auto& p1 = cluster.node(1).open_port(2);
+  fi::StreamWorkload::Config wc;
+  wc.total_msgs = 400;
+  wc.msg_len = 4096;
+  fi::StreamWorkload a(p0, p1, wc), b(p1, p0, wc);
+  cluster.run_for(sim::usec(900));
+  a.start();
+  b.start();
+  cluster.run_for(sim::msec(60));
+  EXPECT_TRUE(a.complete());
+  EXPECT_TRUE(b.complete());
+  EXPECT_EQ(cluster.node(0).ftd().stats().wakeups, 0u);
+  EXPECT_EQ(cluster.node(1).ftd().stats().wakeups, 0u);
+}
+
+TEST(Watchdog, GmModeHasNoWatchdog) {
+  Cluster cluster(gm_config());
+  cluster.node(0).open_port(2);
+  cluster.run_for(sim::msec(2));
+  cluster.node(0).mcp().inject_hang("test");
+  cluster.run_for(sim::msec(5));
+  EXPECT_EQ(cluster.node(0).driver().fatal_interrupts(), 0u);
+  EXPECT_TRUE(cluster.node(0).mcp().hung());  // dead forever
+}
+
+TEST(Watchdog, SpuriousFatalIsFalseAlarm) {
+  Cluster cluster(ftgm_config());
+  cluster.node(0).open_port(2);
+  cluster.run_for(sim::msec(1));
+  const auto gen = cluster.node(0).mcp().generation();
+  // Force the FATAL line without an actual hang: the magic-word probe
+  // must discover the MCP alive and stand down.
+  cluster.node(0).nic().set_isr_bits(lanai::kIsrIt1);
+  cluster.run_for(sim::msec(20));
+  EXPECT_EQ(cluster.node(0).ftd().stats().false_alarms, 1u);
+  EXPECT_EQ(cluster.node(0).ftd().stats().recoveries, 0u);
+  EXPECT_EQ(cluster.node(0).mcp().generation(), gen);  // untouched
+}
+
+// ---------------- FTD pipeline ----------------
+
+TEST(Ftd, RecoveryPhasesFollowPaperTimeline) {
+  Cluster cluster(ftgm_config());
+  cluster.node(0).open_port(2);
+  cluster.run_for(sim::msec(1));
+  cluster.node(0).ftd().mark_fault_injected();
+  cluster.node(0).mcp().inject_hang("test");
+  cluster.run_for(sim::sec(2));
+  const auto& ph = cluster.node(0).ftd().phases();
+  ASSERT_GT(ph.events_posted, 0u);
+  // Ordered phases.
+  EXPECT_LT(ph.fault_injected, ph.interrupt_raised);
+  EXPECT_LT(ph.interrupt_raised, ph.woken);
+  EXPECT_LT(ph.woken, ph.confirmed);
+  EXPECT_LT(ph.confirmed, ph.mcp_reloaded);
+  EXPECT_LT(ph.mcp_reloaded, ph.events_posted);
+  // Detection in under a millisecond (paper Table 3: ~800 us).
+  EXPECT_LT(ph.woken - ph.fault_injected, sim::msec(1));
+  // MCP reload dominates (paper: ~500 ms of ~765 ms).
+  EXPECT_NEAR(sim::to_msec(ph.mcp_reloaded - ph.sram_cleared), 500.0, 1.0);
+  // FTD phase total ~765 ms.
+  EXPECT_NEAR(sim::to_msec(ph.events_posted - ph.woken), 765.0, 40.0);
+}
+
+TEST(Ftd, ReloadsAndRestartsTheMcp) {
+  Cluster cluster(ftgm_config());
+  cluster.node(0).open_port(2);
+  cluster.run_for(sim::msec(1));
+  const auto gen = cluster.node(0).mcp().generation();
+  cluster.node(0).mcp().inject_hang("test");
+  cluster.run_for(sim::sec(2));
+  EXPECT_FALSE(cluster.node(0).mcp().hung());
+  EXPECT_GT(cluster.node(0).mcp().generation(), gen);
+  EXPECT_EQ(cluster.node(0).ftd().stats().recoveries, 1u);
+}
+
+TEST(Ftd, PostsFaultEventToEveryOpenPort) {
+  Cluster cluster(ftgm_config());
+  auto& a = cluster.node(0).open_port(1);
+  auto& b = cluster.node(0).open_port(4);
+  auto& c = cluster.node(0).open_port(6);
+  cluster.run_for(sim::msec(1));
+  cluster.node(0).mcp().inject_hang("test");
+  cluster.run_for(sim::sec(3));
+  EXPECT_EQ(a.recoveries(), 1u);
+  EXPECT_EQ(b.recoveries(), 1u);
+  EXPECT_EQ(c.recoveries(), 1u);
+}
+
+TEST(Ftd, SecondFatalDuringRecoveryIsCoalesced) {
+  Cluster cluster(ftgm_config());
+  cluster.node(0).open_port(2);
+  cluster.run_for(sim::msec(1));
+  cluster.node(0).mcp().inject_hang("test");
+  cluster.run_for(sim::msec(100));  // mid-recovery
+  cluster.node(0).nic().set_isr_bits(lanai::kIsrIt1);
+  cluster.run_for(sim::sec(3));
+  EXPECT_EQ(cluster.node(0).ftd().stats().recoveries, 1u);
+}
+
+// ---------------- transparent end-to-end recovery ----------------
+
+struct RecoveryRun {
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<fi::StreamWorkload> wl;
+};
+
+RecoveryRun run_with_hang(int victim, sim::Time hang_at, int msgs = 30,
+                          std::uint32_t len = 2048) {
+  RecoveryRun r;
+  r.cluster = std::make_unique<Cluster>(ftgm_config());
+  auto& tx = r.cluster->node(0).open_port(2);
+  auto& rx = r.cluster->node(1).open_port(3);
+  fi::StreamWorkload::Config wc;
+  wc.total_msgs = msgs;
+  wc.msg_len = len;
+  r.wl = std::make_unique<fi::StreamWorkload>(tx, rx, wc);
+  r.cluster->run_for(sim::usec(900));
+  r.wl->start();
+  r.cluster->eq().schedule_after(hang_at, [c = r.cluster.get(), victim] {
+    c->node(victim).mcp().inject_hang("test");
+  });
+  r.cluster->run_for(sim::sec(4));
+  return r;
+}
+
+TEST(Recovery, SenderHangIsTransparent) {
+  auto r = run_with_hang(/*victim=*/0, sim::usec(70));
+  EXPECT_TRUE(r.wl->complete());
+  EXPECT_EQ(r.wl->duplicates(), 0);
+  EXPECT_EQ(r.cluster->node(0).port(2)->recoveries(), 1u);
+}
+
+TEST(Recovery, ReceiverHangIsTransparent) {
+  auto r = run_with_hang(/*victim=*/1, sim::usec(70));
+  EXPECT_TRUE(r.wl->complete());
+  EXPECT_EQ(r.wl->duplicates(), 0);
+  EXPECT_EQ(r.cluster->node(1).port(3)->recoveries(), 1u);
+}
+
+TEST(Recovery, HangMidLargeMessage) {
+  auto r = run_with_hang(0, sim::usec(120), /*msgs=*/8, /*len=*/60000);
+  EXPECT_TRUE(r.wl->complete());
+  EXPECT_EQ(r.wl->corrupted(), 0);
+}
+
+TEST(Recovery, ReceiverHangMidLargeMessage) {
+  auto r = run_with_hang(1, sim::usec(120), /*msgs=*/8, /*len=*/60000);
+  EXPECT_TRUE(r.wl->complete());
+  EXPECT_EQ(r.wl->duplicates(), 0);
+}
+
+TEST(Recovery, BothNodesHangAndRecover) {
+  RecoveryRun r;
+  r.cluster = std::make_unique<Cluster>(ftgm_config());
+  auto& tx = r.cluster->node(0).open_port(2);
+  auto& rx = r.cluster->node(1).open_port(3);
+  fi::StreamWorkload::Config wc;
+  wc.total_msgs = 25;
+  wc.msg_len = 1500;
+  r.wl = std::make_unique<fi::StreamWorkload>(tx, rx, wc);
+  r.cluster->run_for(sim::usec(900));
+  r.wl->start();
+  r.cluster->eq().schedule_after(sim::usec(60), [&] {
+    r.cluster->node(0).mcp().inject_hang("a");
+  });
+  r.cluster->eq().schedule_after(sim::usec(90), [&] {
+    r.cluster->node(1).mcp().inject_hang("b");
+  });
+  r.cluster->run_for(sim::sec(6));
+  EXPECT_TRUE(r.wl->complete());
+  EXPECT_EQ(r.wl->duplicates(), 0);
+}
+
+TEST(Recovery, SendsPostedDuringOutageCompleteAfterRecovery) {
+  Cluster cluster(ftgm_config());
+  auto& tx = cluster.node(0).open_port(2);
+  auto& rx = cluster.node(1).open_port(3);
+  cluster.run_for(sim::usec(900));
+  for (int i = 0; i < 4; ++i) {
+    rx.provide_receive_buffer(rx.alloc_dma_buffer(128));
+  }
+  int received = 0;
+  rx.set_receive_handler([&](const gm::RecvInfo&) { ++received; });
+
+  cluster.node(0).mcp().inject_hang("test");
+  cluster.run_for(sim::msec(1));
+  // The NIC is dead, but the API keeps accepting sends; the backup store
+  // holds them until recovery replays them.
+  int completed = 0;
+  for (int i = 0; i < 4; ++i) {
+    gm::Buffer b = tx.alloc_dma_buffer(64);
+    EXPECT_TRUE(tx.send_with_callback(b, 64, 1, 3, 0,
+                                      [&](bool ok) { completed += ok; }));
+  }
+  cluster.run_for(sim::sec(3));
+  EXPECT_EQ(completed, 4);
+  EXPECT_EQ(received, 4);
+}
+
+TEST(Recovery, SurvivesTwoSuccessiveFaults) {
+  RecoveryRun r;
+  r.cluster = std::make_unique<Cluster>(ftgm_config());
+  auto& tx = r.cluster->node(0).open_port(2);
+  auto& rx = r.cluster->node(1).open_port(3);
+  fi::StreamWorkload::Config wc;
+  wc.total_msgs = 40;
+  wc.msg_len = 1024;
+  r.wl = std::make_unique<fi::StreamWorkload>(tx, rx, wc);
+  r.cluster->run_for(sim::usec(900));
+  r.wl->start();
+  r.cluster->eq().schedule_after(sim::usec(50), [&] {
+    r.cluster->node(0).mcp().inject_hang("first");
+  });
+  r.cluster->eq().schedule_after(sim::sec(3), [&] {
+    r.cluster->node(0).mcp().inject_hang("second");
+  });
+  r.cluster->run_for(sim::sec(8));
+  EXPECT_TRUE(r.wl->complete());
+  EXPECT_EQ(r.cluster->node(0).port(2)->recoveries(), 2u);
+  EXPECT_EQ(r.wl->duplicates(), 0);
+}
+
+TEST(Recovery, BackupStoreDrainsAfterQuiesce) {
+  auto r = run_with_hang(0, sim::usec(70));
+  ASSERT_TRUE(r.wl->complete());
+  // Every send token returned -> its backup copy removed.
+  EXPECT_EQ(r.cluster->node(0).port(2)->backup().send_count(), 0u);
+  EXPECT_FALSE(r.cluster->node(0).port(2)->recovering());
+}
+
+TEST(Recovery, AckTableBackupTracksReceiver) {
+  auto r = run_with_hang(1, sim::usec(70), 20, 512);
+  ASSERT_TRUE(r.wl->complete());
+  const auto& ack = r.cluster->node(1).port(3)->backup().ack_table();
+  ASSERT_EQ(ack.size(), 1u);  // one incoming stream (node0, port2)
+  // 20 single-fragment messages: last seq is 19.
+  EXPECT_EQ(ack.begin()->second.last_seq, 19u);
+}
+
+TEST(Recovery, RoutesRestoredFromDriverMirror) {
+  auto r = run_with_hang(0, sim::usec(70));
+  ASSERT_TRUE(r.wl->complete());
+  EXPECT_EQ(r.cluster->node(0).nic().num_routes(), 1u);
+  EXPECT_TRUE(r.cluster->node(0).nic().route(1) != nullptr);
+}
+
+// ---------------- Figure 4: duplicate messages in naive GM ----------------
+
+// Drive: 20 delivered messages, then a sender-NIC crash + naive reload
+// (reset, reload MCP, reopen port — but no FTGM state restoration). The
+// application retries its unacknowledged message; the reloaded MCP numbers
+// it from 0; the receiver NACKs with its expected sequence number; GM
+// resynchronizes and the receiver accepts a message the application
+// already consumed: a duplicate.
+TEST(Figure4, NaiveGmReloadDeliversDuplicate) {
+  Cluster cluster(gm_config());
+  auto& tx = cluster.node(0).open_port(2);
+  auto& rx = cluster.node(1).open_port(3, {32, 32});
+  cluster.run_for(sim::usec(900));
+
+  int received = 0;
+  rx.set_receive_handler([&](const gm::RecvInfo& info) {
+    ++received;
+    rx.provide_receive_buffer(info.buffer);
+  });
+  for (int i = 0; i < 24; ++i) {
+    rx.provide_receive_buffer(rx.alloc_dma_buffer(128));
+  }
+  gm::Buffer b = tx.alloc_dma_buffer(64);
+  int completed = 0;
+  for (int i = 0; i < 20; ++i) {
+    tx.send_with_callback(b, 64, 1, 3, 0, [&](bool) { ++completed; });
+    cluster.run_for(sim::msec(1));
+  }
+  ASSERT_EQ(received, 20);
+  ASSERT_EQ(completed, 20);
+
+  // Send message 21 and crash the sender NIC the moment the receiver has
+  // ACKed it (the ACK is "in transit": the sender never processes it).
+  tx.send_with_callback(b, 64, 1, 3, 0, [](bool) {});
+  const auto acked = [&] {
+    return cluster.node(1).mcp().stats().acks_tx >= 21;
+  };
+  while (!acked() && cluster.eq().step()) {
+  }
+  ASSERT_TRUE(acked());
+  cluster.node(0).mcp().inject_hang("crash with ACK in transit");
+  cluster.run_for(sim::msec(2));
+  ASSERT_EQ(received, 21);  // receiver consumed message 21
+
+  // Naive recovery: reset + reload + reopen. No sequence restoration.
+  cluster.node(0).nic().reset();
+  cluster.node(0).driver().reload_mcp();
+  cluster.node(0).driver().register_page_hash();
+  cluster.node(0).driver().restore_routes();
+  cluster.node(0).driver().open_port(2);
+  cluster.run_for(sim::usec(600));
+
+  // The application never saw a completion for message 21, so it retries.
+  tx.send_with_callback(b, 64, 1, 3, 0, [](bool) {});
+  cluster.run_for(sim::msec(10));
+
+  // The receiver accepted the retry as a NEW message: a duplicate.
+  EXPECT_EQ(received, 22);
+  EXPECT_GT(cluster.node(0).mcp().stats().nacks_rx, 0u);
+}
+
+// The same crash under FTGM: host-generated sequence numbers are restored
+// from the backup, the replayed send carries its original numbers, and the
+// receiver's MCP drops it as a duplicate — the application sees it once.
+TEST(Figure4, FtgmRecoveryDeliversExactlyOnce) {
+  Cluster cluster(ftgm_config());
+  auto& tx = cluster.node(0).open_port(2);
+  auto& rx = cluster.node(1).open_port(3, {32, 32});
+  cluster.run_for(sim::usec(900));
+
+  int received = 0;
+  rx.set_receive_handler([&](const gm::RecvInfo& info) {
+    ++received;
+    rx.provide_receive_buffer(info.buffer);
+  });
+  for (int i = 0; i < 24; ++i) {
+    rx.provide_receive_buffer(rx.alloc_dma_buffer(128));
+  }
+  gm::Buffer b = tx.alloc_dma_buffer(64);
+  for (int i = 0; i < 20; ++i) {
+    tx.send(b, 64, 1, 3);
+    cluster.run_for(sim::msec(1));
+  }
+  ASSERT_EQ(received, 20);
+
+  int late_completed = 0;
+  tx.send_with_callback(b, 64, 1, 3, 0, [&](bool ok) {
+    late_completed += ok;
+  });
+  while (cluster.node(1).mcp().stats().acks_tx < 21 && cluster.eq().step()) {
+  }
+  cluster.node(0).mcp().inject_hang("crash with ACK in transit");
+  // Full FTGM recovery (watchdog -> FTD -> FAULT_DETECTED replay).
+  cluster.run_for(sim::sec(3));
+
+  EXPECT_EQ(received, 21);        // exactly once, no duplicate
+  EXPECT_EQ(late_completed, 1);   // and the send callback eventually fired
+}
+
+// ---------------- Figure 5: lost messages in GM ----------------
+
+// GM ACKs on acceptance, before the DMA/event reach the host. A crash in
+// that window convinces the sender the message arrived while the receiving
+// application never sees it: lost forever.
+TEST(Figure5, GmEarlyAckLosesMessageOnReceiverCrash) {
+  Cluster cluster(gm_config());
+  auto& tx = cluster.node(0).open_port(2);
+  auto& rx = cluster.node(1).open_port(3);
+  cluster.run_for(sim::usec(900));
+  rx.provide_receive_buffer(rx.alloc_dma_buffer(128));
+  int received = 0;
+  rx.set_receive_handler([&](const gm::RecvInfo&) { ++received; });
+
+  bool send_ok = false;
+  gm::Buffer b = tx.alloc_dma_buffer(64);
+  tx.send_with_callback(b, 64, 1, 3, 0, [&](bool ok) { send_ok = ok; });
+
+  // Step until the receiver's MCP has sent the ACK, then hang it before
+  // the RECV event is posted to the host.
+  while (cluster.node(1).mcp().stats().acks_tx < 1 && cluster.eq().step()) {
+  }
+  ASSERT_EQ(cluster.node(1).mcp().stats().events_posted, 0u);
+  cluster.node(1).mcp().inject_hang("crash between ACK and host DMA");
+  cluster.run_for(sim::msec(10));
+
+  EXPECT_TRUE(send_ok);     // sender believes the message arrived
+  EXPECT_EQ(received, 0);   // the application never gets it: lost
+}
+
+// FTGM delays the final ACK until the payload DMA and the RECV event have
+// committed, so the same crash leaves the sender unacknowledged; recovery
+// replays and the message is delivered exactly once.
+TEST(Figure5, FtgmDelayedAckPreventsLoss) {
+  Cluster cluster(ftgm_config());
+  auto& tx = cluster.node(0).open_port(2);
+  auto& rx = cluster.node(1).open_port(3);
+  cluster.run_for(sim::usec(900));
+  rx.provide_receive_buffer(rx.alloc_dma_buffer(128));
+  int received = 0;
+  rx.set_receive_handler([&](const gm::RecvInfo&) { ++received; });
+
+  bool send_ok = false;
+  gm::Buffer b = tx.alloc_dma_buffer(64);
+  tx.send_with_callback(b, 64, 1, 3, 0, [&](bool ok) { send_ok = ok; });
+
+  // In FTGM no ACK may exist before the event post; crash right before
+  // the ACK would go out.
+  while (cluster.node(1).mcp().stats().events_posted < 1 &&
+         cluster.eq().step()) {
+  }
+  EXPECT_EQ(cluster.node(1).mcp().stats().acks_tx, 0u);
+  cluster.node(1).mcp().inject_hang("crash between event and ACK");
+  cluster.run_for(sim::sec(3));
+
+  EXPECT_TRUE(send_ok);
+  EXPECT_EQ(received, 1);  // delivered exactly once despite the crash
+}
+
+TEST(Figure5, FtgmAckOrderInvariantDuringNormalOperation) {
+  // The commit-point ordering must hold for every message: the RECV event
+  // (host DMA) always precedes the stream's ACK.
+  Cluster cluster(ftgm_config());
+  auto& tx = cluster.node(0).open_port(2);
+  auto& rx = cluster.node(1).open_port(3);
+  cluster.run_for(sim::usec(900));
+  rx.provide_receive_buffer(rx.alloc_dma_buffer(128));
+  rx.set_receive_handler([&](const gm::RecvInfo& info) {
+    rx.provide_receive_buffer(info.buffer);
+  });
+  gm::Buffer b = tx.alloc_dma_buffer(64);
+  for (int i = 0; i < 10; ++i) {
+    tx.send(b, 64, 1, 3);
+    // Single-fragment messages: events_posted must never lag acks_tx.
+    while (cluster.node(0).port(2)->stats().sends_completed ==
+               static_cast<std::uint64_t>(i) &&
+           cluster.eq().step()) {
+      const auto& s = cluster.node(1).mcp().stats();
+      ASSERT_GE(s.events_posted, s.acks_tx);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace myri

@@ -1,0 +1,294 @@
+// Unit tests for the emulated LANai RISC core.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "lanai/assembler.hpp"
+#include "lanai/cpu.hpp"
+#include "lanai/registers.hpp"
+#include "lanai/sram.hpp"
+
+namespace myri::lanai {
+namespace {
+
+class FakeMmio : public MmioDevice {
+ public:
+  std::uint32_t mmio_read(std::uint32_t addr) override {
+    ++reads;
+    auto it = regs.find(addr);
+    return it == regs.end() ? 0u : it->second;
+  }
+  void mmio_write(std::uint32_t addr, std::uint32_t value) override {
+    ++writes;
+    regs[addr] = value;
+  }
+  std::map<std::uint32_t, std::uint32_t> regs;
+  int reads = 0;
+  int writes = 0;
+};
+
+constexpr std::uint32_t kBase = 0x1000;
+
+class CpuTest : public ::testing::Test {
+ protected:
+  CpuTest() : sram(64 * 1024), cpu(sram, mmio) {}
+
+  RunResult run_asm(const std::string& src, std::uint64_t budget = 10000) {
+    const Program p = assemble(src, kBase);
+    for (std::size_t i = 0; i < p.words.size(); ++i) {
+      sram.write32(kBase + static_cast<std::uint32_t>(i * 4), p.words[i]);
+    }
+    return cpu.run(kBase, budget);
+  }
+
+  Sram sram;
+  FakeMmio mmio;
+  Cpu cpu;
+};
+
+TEST_F(CpuTest, AddiAndReturn) {
+  auto r = run_asm("addi r1, r0, 42\n jalr r0, r15\n");
+  EXPECT_EQ(r.status, RunStatus::kReturned);
+  EXPECT_EQ(cpu.reg(1), 42u);
+  EXPECT_EQ(r.cycles, 2u);
+}
+
+TEST_F(CpuTest, R0IsHardwiredZero) {
+  auto r = run_asm("addi r0, r0, 99\n jalr r0, r15\n");
+  EXPECT_EQ(r.status, RunStatus::kReturned);
+  EXPECT_EQ(cpu.reg(0), 0u);
+}
+
+TEST_F(CpuTest, NegativeImmediateSignExtends) {
+  auto r = run_asm("addi r1, r0, -5\n jalr r0, r15\n");
+  EXPECT_EQ(r.status, RunStatus::kReturned);
+  EXPECT_EQ(cpu.reg(1), 0xfffffffbu);
+}
+
+TEST_F(CpuTest, ArithmeticOps) {
+  auto r = run_asm(R"(
+    addi r1, r0, 12
+    addi r2, r0, 5
+    add  r3, r1, r2
+    sub  r4, r1, r2
+    mul  r5, r1, r2
+    and  r6, r1, r2
+    or   r7, r1, r2
+    xor  r8, r1, r2
+    jalr r0, r15
+  )");
+  EXPECT_EQ(r.status, RunStatus::kReturned);
+  EXPECT_EQ(cpu.reg(3), 17u);
+  EXPECT_EQ(cpu.reg(4), 7u);
+  EXPECT_EQ(cpu.reg(5), 60u);
+  EXPECT_EQ(cpu.reg(6), 4u);
+  EXPECT_EQ(cpu.reg(7), 13u);
+  EXPECT_EQ(cpu.reg(8), 9u);
+}
+
+TEST_F(CpuTest, Shifts) {
+  auto r = run_asm(R"(
+    addi r1, r0, 1
+    addi r2, r0, 4
+    sll  r3, r1, r2
+    srl  r4, r3, r2
+    jalr r0, r15
+  )");
+  EXPECT_EQ(r.status, RunStatus::kReturned);
+  EXPECT_EQ(cpu.reg(3), 16u);
+  EXPECT_EQ(cpu.reg(4), 1u);
+}
+
+TEST_F(CpuTest, LuiBuildsMmioBase) {
+  auto r = run_asm("lui r1, 0x3c000\n jalr r0, r15\n");
+  EXPECT_EQ(r.status, RunStatus::kReturned);
+  EXPECT_EQ(cpu.reg(1), 0xf0000000u);
+}
+
+TEST_F(CpuTest, LoadStoreWord) {
+  auto r = run_asm(R"(
+    addi r1, r0, 0x2000
+    addi r2, r0, 0x1234
+    sw   r2, 8(r1)
+    lw   r3, 8(r1)
+    jalr r0, r15
+  )");
+  EXPECT_EQ(r.status, RunStatus::kReturned);
+  EXPECT_EQ(cpu.reg(3), 0x1234u);
+  EXPECT_EQ(sram.read32(0x2008), 0x1234u);
+}
+
+TEST_F(CpuTest, LoadStoreByte) {
+  auto r = run_asm(R"(
+    addi r1, r0, 0x2000
+    addi r2, r0, 0x1ff
+    sb   r2, 3(r1)
+    lb   r3, 3(r1)
+    jalr r0, r15
+  )");
+  EXPECT_EQ(r.status, RunStatus::kReturned);
+  EXPECT_EQ(cpu.reg(3), 0xffu);  // byte-truncated
+}
+
+TEST_F(CpuTest, BranchTakenAndNotTaken) {
+  auto r = run_asm(R"(
+    addi r1, r0, 3
+    addi r2, r0, 3
+    beq  r1, r2, eq_path
+    addi r3, r0, 111
+    jalr r0, r15
+  eq_path:
+    addi r3, r0, 222
+    jalr r0, r15
+  )");
+  EXPECT_EQ(r.status, RunStatus::kReturned);
+  EXPECT_EQ(cpu.reg(3), 222u);
+}
+
+TEST_F(CpuTest, BackwardBranchLoop) {
+  auto r = run_asm(R"(
+    addi r1, r0, 5
+    addi r2, r0, 0
+  loop:
+    addi r2, r2, 10
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    jalr r0, r15
+  )");
+  EXPECT_EQ(r.status, RunStatus::kReturned);
+  EXPECT_EQ(cpu.reg(2), 50u);
+}
+
+TEST_F(CpuTest, SignedComparisons) {
+  auto r = run_asm(R"(
+    addi r1, r0, -1
+    addi r2, r0, 1
+    blt  r1, r2, neg_less
+    addi r3, r0, 1
+    jalr r0, r15
+  neg_less:
+    addi r3, r0, 2
+    bge  r2, r1, done
+    addi r3, r0, 3
+  done:
+    jalr r0, r15
+  )");
+  EXPECT_EQ(r.status, RunStatus::kReturned);
+  EXPECT_EQ(cpu.reg(3), 2u);
+}
+
+TEST_F(CpuTest, JalCallAndReturnViaR14) {
+  auto r = run_asm(R"(
+    jal  r14, helper
+    addi r2, r0, 7
+    jalr r0, r15
+  helper:
+    addi r1, r0, 9
+    jalr r0, r14
+  )");
+  EXPECT_EQ(r.status, RunStatus::kReturned);
+  EXPECT_EQ(cpu.reg(1), 9u);
+  EXPECT_EQ(cpu.reg(2), 7u);
+}
+
+TEST_F(CpuTest, HaltStopsExecution) {
+  auto r = run_asm("halt\n");
+  EXPECT_EQ(r.status, RunStatus::kHalted);
+}
+
+TEST_F(CpuTest, InvalidOpcodeFaults) {
+  sram.write32(kBase, 0);  // opcode 0 is invalid by design
+  auto r = cpu.run(kBase, 100);
+  EXPECT_EQ(r.status, RunStatus::kFault);
+}
+
+TEST_F(CpuTest, UndefinedHighOpcodeFaults) {
+  sram.write32(kBase, 63u << 26);
+  auto r = cpu.run(kBase, 100);
+  EXPECT_EQ(r.status, RunStatus::kFault);
+}
+
+TEST_F(CpuTest, MisalignedLoadFaults) {
+  auto r = run_asm(R"(
+    addi r1, r0, 0x2001
+    lw   r2, 0(r1)
+    jalr r0, r15
+  )");
+  EXPECT_EQ(r.status, RunStatus::kFault);
+}
+
+TEST_F(CpuTest, OutOfRangeStoreFaults) {
+  auto r = run_asm(R"(
+    lui  r1, 0x8000
+    sw   r0, 0(r1)
+    jalr r0, r15
+  )");
+  // 0x8000 << 14 = 0x20000000: above SRAM, below MMIO.
+  EXPECT_EQ(r.status, RunStatus::kFault);
+}
+
+TEST_F(CpuTest, RunawayLoopExceedsBudget) {
+  auto r = run_asm("loop: beq r0, r0, loop\n", 500);
+  EXPECT_EQ(r.status, RunStatus::kBudgetExceeded);
+  EXPECT_EQ(r.cycles, 500u);
+}
+
+TEST_F(CpuTest, JumpToZeroIsRestart) {
+  auto r = run_asm("jalr r0, r0\n");
+  EXPECT_EQ(r.status, RunStatus::kRestart);
+}
+
+TEST_F(CpuTest, FetchPastSramFaults) {
+  // Jump to an address beyond SRAM (but below MMIO).
+  auto r = run_asm(R"(
+    lui  r1, 4
+    jalr r0, r1
+  )");
+  EXPECT_EQ(r.status, RunStatus::kFault);
+}
+
+TEST_F(CpuTest, MmioReadAndWriteDispatch) {
+  mmio.regs[kRegScratch] = 0x5555;
+  auto r = run_asm(R"(
+    lui  r1, 0x3c000
+    lw   r2, 0x3c(r1)
+    addi r3, r2, 1
+    sw   r3, 0x3c(r1)
+    jalr r0, r15
+  )");
+  EXPECT_EQ(r.status, RunStatus::kReturned);
+  EXPECT_EQ(cpu.reg(2), 0x5555u);
+  EXPECT_EQ(mmio.regs[kRegScratch], 0x5556u);
+  EXPECT_EQ(mmio.reads, 1);
+  EXPECT_EQ(mmio.writes, 1);
+}
+
+TEST_F(CpuTest, CyclesAccumulateAcrossRuns) {
+  run_asm("addi r1, r0, 1\n jalr r0, r15\n");
+  const auto total1 = cpu.total_cycles();
+  run_asm("addi r1, r0, 1\n jalr r0, r15\n");
+  EXPECT_EQ(cpu.total_cycles(), total1 + 2);
+}
+
+TEST_F(CpuTest, ReturnSentinelPreloadedInR15) {
+  // A routine that immediately returns must see the sentinel in r15.
+  auto r = run_asm("jalr r0, r15\n");
+  EXPECT_EQ(r.status, RunStatus::kReturned);
+  EXPECT_EQ(r.cycles, 1u);
+}
+
+TEST(CpuEncoding, FieldRoundTrip) {
+  const std::uint32_t w = encode(Op::kAddi, 3, 7, 0, -42);
+  EXPECT_EQ(op_of(w), Op::kAddi);
+  EXPECT_EQ(rd_of(w), 3u);
+  EXPECT_EQ(rs1_of(w), 7u);
+  EXPECT_EQ(imm18_of(w), -42);
+}
+
+TEST(CpuEncoding, Imm18Boundaries) {
+  EXPECT_EQ(imm18_of(encode(Op::kAddi, 0, 0, 0, 131071)), 131071);
+  EXPECT_EQ(imm18_of(encode(Op::kAddi, 0, 0, 0, -131072)), -131072);
+}
+
+}  // namespace
+}  // namespace myri::lanai

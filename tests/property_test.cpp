@@ -1,0 +1,214 @@
+// Property-style parameterized sweeps over the invariants in DESIGN.md:
+//  1. exactly-once in-order delivery under transient faults,
+//  2. exactly-once delivery across NIC hangs at arbitrary times (FTGM),
+//  3. send/receive token conservation,
+//  4. backup-store consistency,
+//  5. watchdog soundness (no false positives, bounded detection).
+#include <gtest/gtest.h>
+
+#include "faultinject/workload.hpp"
+#include "gm/cluster.hpp"
+
+namespace myri {
+namespace {
+
+using gm::Cluster;
+using gm::ClusterConfig;
+
+// ---- invariant 1: exactly-once under link faults, both modes ----
+
+struct FaultCase {
+  mcp::McpMode mode;
+  double drop, corrupt, misroute;
+  std::uint64_t seed;
+};
+
+class ExactlyOnceUnderFaults : public ::testing::TestWithParam<FaultCase> {};
+
+TEST_P(ExactlyOnceUnderFaults, HoldsForSeedAndRates) {
+  const FaultCase& fc = GetParam();
+  ClusterConfig cc;
+  cc.nodes = 2;
+  cc.mode = fc.mode;
+  cc.seed = fc.seed;
+  cc.faults = {fc.drop, fc.corrupt, fc.misroute};
+  Cluster cluster(cc);
+  auto& tx = cluster.node(0).open_port(2);
+  auto& rx = cluster.node(1).open_port(3);
+  fi::StreamWorkload::Config wc;
+  wc.total_msgs = 30;
+  wc.msg_len = 3000;
+  fi::StreamWorkload wl(tx, rx, wc);
+  cluster.run_for(sim::usec(900));
+  wl.start();
+  cluster.run_for(sim::msec(400));
+  EXPECT_TRUE(wl.complete()) << "drop=" << fc.drop << " corrupt=" << fc.corrupt
+                             << " misroute=" << fc.misroute
+                             << " seed=" << fc.seed;
+  EXPECT_EQ(wl.duplicates(), 0);
+  EXPECT_EQ(wl.corrupted(), 0);
+}
+
+std::vector<FaultCase> fault_matrix() {
+  std::vector<FaultCase> out;
+  for (auto mode : {mcp::McpMode::kGm, mcp::McpMode::kFtgm}) {
+    for (double p : {0.02, 0.10, 0.20}) {
+      for (std::uint64_t seed : {11ull, 22ull}) {
+        out.push_back({mode, p, 0.0, 0.0, seed});
+        out.push_back({mode, 0.0, p, 0.0, seed});
+        out.push_back({mode, p / 2, p / 2, p / 10, seed});
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultMatrix, ExactlyOnceUnderFaults,
+                         ::testing::ValuesIn(fault_matrix()));
+
+// ---- invariant 2: exactly-once across hangs at arbitrary times ----
+
+struct HangCase {
+  int victim;           // 0 = sender NIC, 1 = receiver NIC
+  sim::Time hang_at;    // after workload start
+  std::uint64_t seed;
+};
+
+class ExactlyOnceAcrossHang : public ::testing::TestWithParam<HangCase> {};
+
+TEST_P(ExactlyOnceAcrossHang, FtgmRecoversExactlyOnce) {
+  const HangCase& hc = GetParam();
+  ClusterConfig cc;
+  cc.nodes = 2;
+  cc.mode = mcp::McpMode::kFtgm;
+  cc.seed = hc.seed;
+  Cluster cluster(cc);
+  auto& tx = cluster.node(0).open_port(2);
+  auto& rx = cluster.node(1).open_port(3);
+  fi::StreamWorkload::Config wc;
+  wc.total_msgs = 25;
+  wc.msg_len = 2500;
+  fi::StreamWorkload wl(tx, rx, wc);
+  cluster.run_for(sim::usec(900));
+  wl.start();
+  cluster.eq().schedule_after(hc.hang_at, [&] {
+    cluster.node(hc.victim).mcp().inject_hang("sweep");
+  });
+  cluster.run_for(sim::sec(4));
+  EXPECT_TRUE(wl.complete())
+      << "victim=" << hc.victim << " at=" << sim::to_usec(hc.hang_at);
+  EXPECT_EQ(wl.duplicates(), 0);
+  EXPECT_EQ(wl.corrupted(), 0);
+}
+
+std::vector<HangCase> hang_matrix() {
+  std::vector<HangCase> out;
+  for (int victim : {0, 1}) {
+    for (sim::Time at :
+         {sim::usec(5), sim::usec(23), sim::usec(57), sim::usec(120),
+          sim::usec(333), sim::msec(1)}) {
+      out.push_back({victim, at, 77});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(HangSweep, ExactlyOnceAcrossHang,
+                         ::testing::ValuesIn(hang_matrix()));
+
+// ---- invariant 3+4: token conservation and backup consistency ----
+
+class TokenConservation
+    : public ::testing::TestWithParam<std::tuple<mcp::McpMode, int>> {};
+
+TEST_P(TokenConservation, TokensReturnAndBackupDrains) {
+  const auto [mode, msgs] = GetParam();
+  ClusterConfig cc;
+  cc.nodes = 2;
+  cc.mode = mode;
+  Cluster cluster(cc);
+  auto& tx = cluster.node(0).open_port(2, {8, 8});
+  auto& rx = cluster.node(1).open_port(3, {8, 8});
+  fi::StreamWorkload::Config wc;
+  wc.total_msgs = msgs;
+  wc.msg_len = 1024;
+  wc.recv_buffers = 8;
+  wc.max_in_flight = 8;
+  fi::StreamWorkload wl(tx, rx, wc);
+  cluster.run_for(sim::usec(900));
+  wl.start();
+  cluster.run_for(sim::msec(5) + sim::msec(msgs));
+  ASSERT_TRUE(wl.complete());
+  // All send tokens back with the application.
+  EXPECT_EQ(tx.send_tokens_free(), 8u);
+  // Receiver re-provides every buffer, so all 8 are with the LANai again.
+  EXPECT_EQ(cluster.node(1).mcp().recv_tokens_held(3), 8u);
+  if (mode == mcp::McpMode::kFtgm) {
+    // Backup invariants: nothing outstanding after quiesce, and the recv
+    // backup exactly mirrors the 8 re-provided buffers.
+    EXPECT_EQ(tx.backup().send_count(), 0u);
+    EXPECT_EQ(rx.backup().recv_count(), 8u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Conservation, TokenConservation,
+    ::testing::Combine(::testing::Values(mcp::McpMode::kGm,
+                                         mcp::McpMode::kFtgm),
+                       ::testing::Values(5, 20, 60)));
+
+// ---- invariant 5: watchdog soundness across workload intensities ----
+
+class WatchdogSoundness : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(WatchdogSoundness, NeverFiresWithoutAHang) {
+  const std::uint32_t msg_len = GetParam();
+  ClusterConfig cc;
+  cc.nodes = 2;
+  cc.mode = mcp::McpMode::kFtgm;
+  Cluster cluster(cc);
+  auto& p0 = cluster.node(0).open_port(2);
+  auto& p1 = cluster.node(1).open_port(2);
+  fi::StreamWorkload::Config wc;
+  wc.total_msgs = 150;
+  wc.msg_len = msg_len;
+  fi::StreamWorkload a(p0, p1, wc), b(p1, p0, wc);
+  cluster.run_for(sim::usec(900));
+  a.start();
+  b.start();
+  cluster.run_for(sim::msec(80));
+  EXPECT_TRUE(a.complete());
+  EXPECT_TRUE(b.complete());
+  EXPECT_EQ(cluster.node(0).ftd().stats().wakeups, 0u);
+  EXPECT_EQ(cluster.node(1).ftd().stats().wakeups, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(LoadSweep, WatchdogSoundness,
+                         ::testing::Values(16u, 512u, 4096u, 16384u));
+
+class WatchdogDetection : public ::testing::TestWithParam<sim::Time> {};
+
+TEST_P(WatchdogDetection, AlwaysFiresWithinBoundAfterHang) {
+  ClusterConfig cc;
+  cc.nodes = 2;
+  cc.mode = mcp::McpMode::kFtgm;
+  Cluster cluster(cc);
+  cluster.node(0).open_port(2);
+  cluster.run_for(GetParam());
+  const sim::Time hang_at = cluster.eq().now();
+  cluster.node(0).mcp().inject_hang("sweep");
+  cluster.run_for(sim::msec(2));
+  ASSERT_EQ(cluster.node(0).driver().fatal_interrupts(), 1u);
+  const auto& ph = cluster.node(0).ftd().phases();
+  EXPECT_LE(ph.interrupt_raised - hang_at,
+            cluster.node(0).config().timing.watchdog.it1_interval +
+                cluster.node(0).config().timing.irq.latency);
+}
+
+INSTANTIATE_TEST_SUITE_P(PhaseSweep, WatchdogDetection,
+                         ::testing::Values(sim::usec(500), sim::usec(777),
+                                           sim::msec(1), sim::usec(1250),
+                                           sim::msec(3)));
+
+}  // namespace
+}  // namespace myri
