@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_commit_point.dir/ablation_commit_point.cpp.o"
+  "CMakeFiles/ablation_commit_point.dir/ablation_commit_point.cpp.o.d"
+  "ablation_commit_point"
+  "ablation_commit_point.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_commit_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

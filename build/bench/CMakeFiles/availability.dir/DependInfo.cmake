@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/availability.cpp" "bench/CMakeFiles/availability.dir/availability.cpp.o" "gcc" "bench/CMakeFiles/availability.dir/availability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/faultinject/CMakeFiles/myri_faultinject.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapper/CMakeFiles/myri_mapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/fm/CMakeFiles/myri_fm.dir/DependInfo.cmake"
+  "/root/repo/build/src/gm/CMakeFiles/myri_gm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/myri_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcp/CMakeFiles/myri_mcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lanai/CMakeFiles/myri_lanai.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/myri_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/myri_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/myri_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

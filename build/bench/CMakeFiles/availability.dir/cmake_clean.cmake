@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/availability.dir/availability.cpp.o"
+  "CMakeFiles/availability.dir/availability.cpp.o.d"
+  "availability"
+  "availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_segment_injection.dir/data_segment_injection.cpp.o"
+  "CMakeFiles/data_segment_injection.dir/data_segment_injection.cpp.o.d"
+  "data_segment_injection"
+  "data_segment_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_segment_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_anatomy.dir/fault_anatomy.cpp.o"
+  "CMakeFiles/fault_anatomy.dir/fault_anatomy.cpp.o.d"
+  "fault_anatomy"
+  "fault_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_bandwidth.dir/fig7_bandwidth.cpp.o"
+  "CMakeFiles/fig7_bandwidth.dir/fig7_bandwidth.cpp.o.d"
+  "fig7_bandwidth"
+  "fig7_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_comparison.dir/fm_comparison.cpp.o"
+  "CMakeFiles/fm_comparison.dir/fm_comparison.cpp.o.d"
+  "fm_comparison"
+  "fm_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

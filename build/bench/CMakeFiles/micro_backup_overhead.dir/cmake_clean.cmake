@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_backup_overhead.dir/micro_backup_overhead.cpp.o"
+  "CMakeFiles/micro_backup_overhead.dir/micro_backup_overhead.cpp.o.d"
+  "micro_backup_overhead"
+  "micro_backup_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_backup_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

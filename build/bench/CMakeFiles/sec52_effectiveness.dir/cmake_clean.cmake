@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec52_effectiveness.dir/sec52_effectiveness.cpp.o"
+  "CMakeFiles/sec52_effectiveness.dir/sec52_effectiveness.cpp.o.d"
+  "sec52_effectiveness"
+  "sec52_effectiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_metrics.dir/table2_metrics.cpp.o"
+  "CMakeFiles/table2_metrics.dir/table2_metrics.cpp.o.d"
+  "table2_metrics"
+  "table2_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

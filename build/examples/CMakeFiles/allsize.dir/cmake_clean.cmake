@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allsize.dir/allsize.cpp.o"
+  "CMakeFiles/allsize.dir/allsize.cpp.o.d"
+  "allsize"
+  "allsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_bringup.dir/cluster_bringup.cpp.o"
+  "CMakeFiles/cluster_bringup.dir/cluster_bringup.cpp.o.d"
+  "cluster_bringup"
+  "cluster_bringup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_bringup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

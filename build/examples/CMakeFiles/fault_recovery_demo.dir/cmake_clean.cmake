@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_recovery_demo.dir/fault_recovery_demo.cpp.o"
+  "CMakeFiles/fault_recovery_demo.dir/fault_recovery_demo.cpp.o.d"
+  "fault_recovery_demo"
+  "fault_recovery_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_recovery_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

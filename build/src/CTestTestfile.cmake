@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("net")
+subdirs("host")
+subdirs("lanai")
+subdirs("mcp")
+subdirs("gm")
+subdirs("core")
+subdirs("mapper")
+subdirs("faultinject")
+subdirs("metrics")
+subdirs("mpi")
+subdirs("fm")

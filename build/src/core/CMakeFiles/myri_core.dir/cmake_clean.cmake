@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myri_core.dir/backup_store.cpp.o"
+  "CMakeFiles/myri_core.dir/backup_store.cpp.o.d"
+  "CMakeFiles/myri_core.dir/driver.cpp.o"
+  "CMakeFiles/myri_core.dir/driver.cpp.o.d"
+  "CMakeFiles/myri_core.dir/ftd.cpp.o"
+  "CMakeFiles/myri_core.dir/ftd.cpp.o.d"
+  "libmyri_core.a"
+  "libmyri_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myri_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myri_faultinject.dir/campaign.cpp.o"
+  "CMakeFiles/myri_faultinject.dir/campaign.cpp.o.d"
+  "CMakeFiles/myri_faultinject.dir/workload.cpp.o"
+  "CMakeFiles/myri_faultinject.dir/workload.cpp.o.d"
+  "libmyri_faultinject.a"
+  "libmyri_faultinject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myri_faultinject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myri_fm.dir/endpoint.cpp.o"
+  "CMakeFiles/myri_fm.dir/endpoint.cpp.o.d"
+  "libmyri_fm.a"
+  "libmyri_fm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myri_fm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

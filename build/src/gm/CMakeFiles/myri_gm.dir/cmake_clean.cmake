@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myri_gm.dir/cluster.cpp.o"
+  "CMakeFiles/myri_gm.dir/cluster.cpp.o.d"
+  "CMakeFiles/myri_gm.dir/node.cpp.o"
+  "CMakeFiles/myri_gm.dir/node.cpp.o.d"
+  "CMakeFiles/myri_gm.dir/port.cpp.o"
+  "CMakeFiles/myri_gm.dir/port.cpp.o.d"
+  "libmyri_gm.a"
+  "libmyri_gm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myri_gm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/host_memory.cpp" "src/host/CMakeFiles/myri_host.dir/host_memory.cpp.o" "gcc" "src/host/CMakeFiles/myri_host.dir/host_memory.cpp.o.d"
+  "/root/repo/src/host/interrupts.cpp" "src/host/CMakeFiles/myri_host.dir/interrupts.cpp.o" "gcc" "src/host/CMakeFiles/myri_host.dir/interrupts.cpp.o.d"
+  "/root/repo/src/host/pci.cpp" "src/host/CMakeFiles/myri_host.dir/pci.cpp.o" "gcc" "src/host/CMakeFiles/myri_host.dir/pci.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/myri_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

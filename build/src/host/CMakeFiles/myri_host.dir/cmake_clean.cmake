@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myri_host.dir/host_memory.cpp.o"
+  "CMakeFiles/myri_host.dir/host_memory.cpp.o.d"
+  "CMakeFiles/myri_host.dir/interrupts.cpp.o"
+  "CMakeFiles/myri_host.dir/interrupts.cpp.o.d"
+  "CMakeFiles/myri_host.dir/pci.cpp.o"
+  "CMakeFiles/myri_host.dir/pci.cpp.o.d"
+  "libmyri_host.a"
+  "libmyri_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myri_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

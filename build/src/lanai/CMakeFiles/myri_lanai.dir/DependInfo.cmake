@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lanai/assembler.cpp" "src/lanai/CMakeFiles/myri_lanai.dir/assembler.cpp.o" "gcc" "src/lanai/CMakeFiles/myri_lanai.dir/assembler.cpp.o.d"
+  "/root/repo/src/lanai/cpu.cpp" "src/lanai/CMakeFiles/myri_lanai.dir/cpu.cpp.o" "gcc" "src/lanai/CMakeFiles/myri_lanai.dir/cpu.cpp.o.d"
+  "/root/repo/src/lanai/disassembler.cpp" "src/lanai/CMakeFiles/myri_lanai.dir/disassembler.cpp.o" "gcc" "src/lanai/CMakeFiles/myri_lanai.dir/disassembler.cpp.o.d"
+  "/root/repo/src/lanai/nic.cpp" "src/lanai/CMakeFiles/myri_lanai.dir/nic.cpp.o" "gcc" "src/lanai/CMakeFiles/myri_lanai.dir/nic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/myri_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/myri_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/myri_host.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

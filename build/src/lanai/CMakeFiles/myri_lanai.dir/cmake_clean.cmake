@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myri_lanai.dir/assembler.cpp.o"
+  "CMakeFiles/myri_lanai.dir/assembler.cpp.o.d"
+  "CMakeFiles/myri_lanai.dir/cpu.cpp.o"
+  "CMakeFiles/myri_lanai.dir/cpu.cpp.o.d"
+  "CMakeFiles/myri_lanai.dir/disassembler.cpp.o"
+  "CMakeFiles/myri_lanai.dir/disassembler.cpp.o.d"
+  "CMakeFiles/myri_lanai.dir/nic.cpp.o"
+  "CMakeFiles/myri_lanai.dir/nic.cpp.o.d"
+  "libmyri_lanai.a"
+  "libmyri_lanai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myri_lanai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmyri_lanai.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for myri_lanai.
+# This may be replaced when dependencies are built.

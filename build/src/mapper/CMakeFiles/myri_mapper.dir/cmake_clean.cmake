@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myri_mapper.dir/mapper.cpp.o"
+  "CMakeFiles/myri_mapper.dir/mapper.cpp.o.d"
+  "libmyri_mapper.a"
+  "libmyri_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myri_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

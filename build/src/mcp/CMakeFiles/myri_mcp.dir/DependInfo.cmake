@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcp/mcp.cpp" "src/mcp/CMakeFiles/myri_mcp.dir/mcp.cpp.o" "gcc" "src/mcp/CMakeFiles/myri_mcp.dir/mcp.cpp.o.d"
+  "/root/repo/src/mcp/send_chunk.cpp" "src/mcp/CMakeFiles/myri_mcp.dir/send_chunk.cpp.o" "gcc" "src/mcp/CMakeFiles/myri_mcp.dir/send_chunk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lanai/CMakeFiles/myri_lanai.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/myri_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/myri_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/myri_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myri_mcp.dir/mcp.cpp.o"
+  "CMakeFiles/myri_mcp.dir/mcp.cpp.o.d"
+  "CMakeFiles/myri_mcp.dir/send_chunk.cpp.o"
+  "CMakeFiles/myri_mcp.dir/send_chunk.cpp.o.d"
+  "libmyri_mcp.a"
+  "libmyri_mcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myri_mcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myri_mpi.dir/comm.cpp.o"
+  "CMakeFiles/myri_mpi.dir/comm.cpp.o.d"
+  "libmyri_mpi.a"
+  "libmyri_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myri_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

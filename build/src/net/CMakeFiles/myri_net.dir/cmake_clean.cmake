@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myri_net.dir/link.cpp.o"
+  "CMakeFiles/myri_net.dir/link.cpp.o.d"
+  "CMakeFiles/myri_net.dir/packet.cpp.o"
+  "CMakeFiles/myri_net.dir/packet.cpp.o.d"
+  "CMakeFiles/myri_net.dir/switch.cpp.o"
+  "CMakeFiles/myri_net.dir/switch.cpp.o.d"
+  "CMakeFiles/myri_net.dir/topology.cpp.o"
+  "CMakeFiles/myri_net.dir/topology.cpp.o.d"
+  "libmyri_net.a"
+  "libmyri_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myri_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

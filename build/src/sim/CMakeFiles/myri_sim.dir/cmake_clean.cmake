@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/myri_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/myri_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/myri_sim.dir/trace.cpp.o"
+  "CMakeFiles/myri_sim.dir/trace.cpp.o.d"
+  "libmyri_sim.a"
+  "libmyri_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/myri_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

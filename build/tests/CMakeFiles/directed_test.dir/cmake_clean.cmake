@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directed_test.dir/directed_test.cpp.o"
+  "CMakeFiles/directed_test.dir/directed_test.cpp.o.d"
+  "directed_test"
+  "directed_test.pdb"
+  "directed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftgm_test.dir/ftgm_test.cpp.o"
+  "CMakeFiles/ftgm_test.dir/ftgm_test.cpp.o.d"
+  "ftgm_test"
+  "ftgm_test.pdb"
+  "ftgm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftgm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

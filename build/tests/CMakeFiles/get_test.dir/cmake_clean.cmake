@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/get_test.dir/get_test.cpp.o"
+  "CMakeFiles/get_test.dir/get_test.cpp.o.d"
+  "get_test"
+  "get_test.pdb"
+  "get_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/get_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gm_test.dir/gm_test.cpp.o"
+  "CMakeFiles/gm_test.dir/gm_test.cpp.o.d"
+  "gm_test"
+  "gm_test.pdb"
+  "gm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lanai_asm_test.dir/lanai_asm_test.cpp.o"
+  "CMakeFiles/lanai_asm_test.dir/lanai_asm_test.cpp.o.d"
+  "lanai_asm_test"
+  "lanai_asm_test.pdb"
+  "lanai_asm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lanai_asm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lanai_cpu_test.dir/lanai_cpu_test.cpp.o"
+  "CMakeFiles/lanai_cpu_test.dir/lanai_cpu_test.cpp.o.d"
+  "lanai_cpu_test"
+  "lanai_cpu_test.pdb"
+  "lanai_cpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lanai_cpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lanai_nic_test.dir/lanai_nic_test.cpp.o"
+  "CMakeFiles/lanai_nic_test.dir/lanai_nic_test.cpp.o.d"
+  "lanai_nic_test"
+  "lanai_nic_test.pdb"
+  "lanai_nic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lanai_nic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcp_restart_test.dir/mcp_restart_test.cpp.o"
+  "CMakeFiles/mcp_restart_test.dir/mcp_restart_test.cpp.o.d"
+  "mcp_restart_test"
+  "mcp_restart_test.pdb"
+  "mcp_restart_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcp_restart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/host_test[1]_include.cmake")
+include("/root/repo/build/tests/lanai_cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/lanai_asm_test[1]_include.cmake")
+include("/root/repo/build/tests/lanai_nic_test[1]_include.cmake")
+include("/root/repo/build/tests/mcp_test[1]_include.cmake")
+include("/root/repo/build/tests/gm_test[1]_include.cmake")
+include("/root/repo/build/tests/ftgm_test[1]_include.cmake")
+include("/root/repo/build/tests/mapper_test[1]_include.cmake")
+include("/root/repo/build/tests/faultinject_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/chaos_test[1]_include.cmake")
+include("/root/repo/build/tests/directed_test[1]_include.cmake")
+include("/root/repo/build/tests/net_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/mcp_restart_test[1]_include.cmake")
+include("/root/repo/build/tests/calibration_test[1]_include.cmake")
+include("/root/repo/build/tests/fm_test[1]_include.cmake")
+include("/root/repo/build/tests/failover_test[1]_include.cmake")
+include("/root/repo/build/tests/get_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
