@@ -16,8 +16,27 @@
 #include "faultinject/workload.hpp"
 #include "gm/cluster.hpp"
 #include "metrics/metrics.hpp"
+#include "metrics/registry.hpp"
 
 namespace myri::bench {
+
+/// If MYRI_METRICS_JSON is set, write the registry snapshot there ("-"
+/// for stdout) so a perf run leaves a machine-readable baseline behind.
+inline void export_registry_json(const metrics::Registry& reg) {
+  const char* path = std::getenv("MYRI_METRICS_JSON");
+  if (path == nullptr) return;
+  const std::string json = reg.to_json();
+  if (std::string(path) == "-") {
+    std::printf("%s\n", json.c_str());
+    return;
+  }
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fputs(json.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("(metrics snapshot written to %s)\n", path);
+  }
+}
 
 /// Environment override for run sizes: MYRI_BENCH_SCALE=0.1 shrinks
 /// campaigns for quick smoke runs; default 1.0 reproduces the paper.
@@ -39,9 +58,12 @@ struct PingPongResult {
 };
 
 /// Half-round-trip latency for `iters` ping-pong exchanges of `len` bytes.
+/// Numbers are sourced from the cluster's metrics registry; pass `agg` to
+/// accumulate the raw registry across invocations.
 inline PingPongResult run_ping_pong(mcp::McpMode mode, std::uint32_t len,
                                     int iters,
-                                    const gm::ClusterConfig& base = {}) {
+                                    const gm::ClusterConfig& base = {},
+                                    metrics::Registry* agg = nullptr) {
   gm::ClusterConfig cc = base;
   cc.nodes = 2;
   cc.mode = mode;
@@ -67,27 +89,36 @@ inline PingPongResult run_ping_pong(mcp::McpMode mode, std::uint32_t len,
     b.provide_receive_buffer(info.buffer);
     b.send(bbuf, len, 0, 2);
   });
-  // Ping side: timestamp, record, fire the next iteration.
+  // Ping side: timestamp, record, fire the next iteration. Samples land
+  // both in the exact recorder (fig8 percentiles) and in the registry
+  // histogram, which is what aggregated reports read.
+  metrics::Histogram& rtt_hist =
+      cluster.metrics().histogram("bench.half_rtt_ns");
   a.set_receive_handler([&](const gm::RecvInfo& info) {
     a.provide_receive_buffer(info.buffer);
-    res.half_rtt.add((cluster.eq().now() - t0) / 2);
+    const sim::Time half = (cluster.eq().now() - t0) / 2;
+    res.half_rtt.add(half);
+    rtt_hist.add(half);
     if (--remaining > 0) {
       t0 = cluster.eq().now();
       a.send(abuf, len, 1, 2);
     }
   });
 
-  const sim::Time busy_before =
-      cluster.node(0).mcp().busy_ns() + cluster.node(1).mcp().busy_ns();
+  const metrics::Counter& busy0 =
+      cluster.metrics().counter("node0.mcp.busy_ns");
+  const metrics::Counter& busy1 =
+      cluster.metrics().counter("node1.mcp.busy_ns");
+  const std::uint64_t busy_before = busy0.value() + busy1.value();
   t0 = cluster.eq().now();
   a.send(abuf, len, 1, 2);
   cluster.run_for(sim::msec(10) + sim::Time(iters) * sim::usec(200));
 
-  const sim::Time busy_after =
-      cluster.node(0).mcp().busy_ns() + cluster.node(1).mcp().busy_ns();
+  const std::uint64_t busy_after = busy0.value() + busy1.value();
   const std::uint64_t msgs = 2ull * static_cast<std::uint64_t>(
                                  res.half_rtt.count());
   if (msgs > 0) res.lanai_busy_per_msg = (busy_after - busy_before) / msgs;
+  if (agg != nullptr) agg->merge(cluster.metrics());
   return res;
 }
 
@@ -97,10 +128,13 @@ struct BandwidthResult {
 };
 
 /// Sustained bidirectional data rate for message length `len`
-/// (both hosts send `msgs` messages as fast as tokens allow).
+/// (both hosts send `msgs` messages as fast as tokens allow). Byte counts
+/// come from the receiver port's registry counter, which (being fed by
+/// delivered messages only) never includes dropped traffic.
 inline BandwidthResult run_bandwidth_bidir(mcp::McpMode mode,
                                            std::uint32_t len, int msgs,
-                                           const gm::ClusterConfig& base = {}) {
+                                           const gm::ClusterConfig& base = {},
+                                           metrics::Registry* agg = nullptr) {
   if (msgs < 6) msgs = 6;  // rate needs a window past pipeline fill
   gm::ClusterConfig cc = base;
   cc.nodes = 2;
@@ -119,13 +153,12 @@ inline BandwidthResult run_bandwidth_bidir(mcp::McpMode mode,
   fi::StreamWorkload ba(b, a, wc);
   cluster.run_for(sim::usec(900));
 
-  // Timestamps of deliveries in the a->b direction.
+  // Timestamps of deliveries in the a->b direction; bytes are read from
+  // the receiving port's registry counter.
   sim::Time first = 0, last = 0;
-  std::uint64_t bytes = 0;
   b.set_receive_handler([&](const gm::RecvInfo& info) {
     if (first == 0) first = cluster.eq().now();
     last = cluster.eq().now();
-    bytes += info.len;
     b.provide_receive_buffer(info.buffer);
   });
   // NOTE: StreamWorkload::start() installs its own handler; install ours
@@ -135,11 +168,15 @@ inline BandwidthResult run_bandwidth_bidir(mcp::McpMode mode,
   b.set_receive_handler([&](const gm::RecvInfo& info) {
     if (first == 0) first = cluster.eq().now();
     last = cluster.eq().now();
-    bytes += info.len;
     b.provide_receive_buffer(info.buffer);
   });
 
-  const sim::Time busy0 = cluster.node(0).mcp().busy_ns();
+  const metrics::Counter& rx_bytes =
+      cluster.metrics().counter("node1.port2.bytes_received");
+  const metrics::Counter& busy_ns =
+      cluster.metrics().counter("node0.mcp.busy_ns");
+  const std::uint64_t bytes_before = rx_bytes.value();
+  const std::uint64_t busy0 = busy_ns.value();
   const sim::Time t_start = cluster.eq().now();
   // Enough time for the slowest size; loop in chunks with early exit.
   for (int i = 0; i < 400; ++i) {
@@ -147,16 +184,17 @@ inline BandwidthResult run_bandwidth_bidir(mcp::McpMode mode,
     if (ab.received() >= msgs && ba.received() >= msgs) break;
   }
   BandwidthResult res;
+  const std::uint64_t bytes = rx_bytes.value() - bytes_before;
   if (last > first && bytes > 0) {
     // Skip the first delivery (pipeline fill) when computing the rate.
     res.mb_per_s = metrics::bandwidth_mb_per_s(bytes, first, last);
   }
   const sim::Time elapsed = cluster.eq().now() - t_start;
   if (elapsed > 0) {
-    res.lanai_busy_frac =
-        static_cast<double>(cluster.node(0).mcp().busy_ns() - busy0) /
-        static_cast<double>(elapsed);
+    res.lanai_busy_frac = static_cast<double>(busy_ns.value() - busy0) /
+                          static_cast<double>(elapsed);
   }
+  if (agg != nullptr) agg->merge(cluster.metrics());
   return res;
 }
 
@@ -168,7 +206,8 @@ struct HostUtilResult {
 };
 
 inline HostUtilResult run_host_util(mcp::McpMode mode, std::uint32_t len,
-                                    int msgs) {
+                                    int msgs,
+                                    metrics::Registry* agg = nullptr) {
   gm::ClusterConfig cc;
   cc.nodes = 2;
   cc.mode = mode;
@@ -186,12 +225,17 @@ inline HostUtilResult run_host_util(mcp::McpMode mode, std::uint32_t len,
   }
   HostUtilResult r;
   if (wl.complete()) {
-    r.send_us_per_msg = sim::to_usec(tx.stats().send_cpu_ns) / msgs;
-    r.recv_us_per_msg = sim::to_usec(rx.stats().recv_cpu_ns) / msgs;
-    r.lanai_us_per_msg = sim::to_usec(cluster.node(0).mcp().busy_ns() +
-                                      cluster.node(1).mcp().busy_ns()) /
-                         msgs;
+    metrics::Registry& reg = cluster.metrics();
+    r.send_us_per_msg =
+        sim::to_usec(reg.counter("node0.port2.send_cpu_ns").value()) / msgs;
+    r.recv_us_per_msg =
+        sim::to_usec(reg.counter("node1.port3.recv_cpu_ns").value()) / msgs;
+    r.lanai_us_per_msg =
+        sim::to_usec(reg.counter("node0.mcp.busy_ns").value() +
+                     reg.counter("node1.mcp.busy_ns").value()) /
+        msgs;
   }
+  if (agg != nullptr) agg->merge(cluster.metrics());
   return r;
 }
 

@@ -9,6 +9,13 @@ void Ftd::start() {
   driver_.set_fatal_handler([this] { on_fatal(); });
 }
 
+void Ftd::bind_metrics(metrics::Registry& reg, const std::string& prefix) {
+  phase_timer_ = metrics::PhaseTimer(reg, prefix + ".recovery");
+  m_wakeups_ = &reg.counter(prefix + ".wakeups");
+  m_false_alarms_ = &reg.counter(prefix + ".false_alarms");
+  m_recoveries_ = &reg.counter(prefix + ".recoveries");
+}
+
 void Ftd::step(sim::Time cost, std::function<void()> fn) {
   eq_.schedule_after(cost, std::move(fn));
 }
@@ -19,7 +26,13 @@ void Ftd::on_fatal() {
   phases_.interrupt_raised = eq_.now();
   step(cfg_.wake_latency, [this] {
     ++stats_.wakeups;
+    metrics::bump(m_wakeups_);
     phases_.woken = eq_.now();
+    // Detection runs from the injection stamp when an experiment set one
+    // (the Table 3 definition); otherwise from the FATAL interrupt.
+    phase_timer_.start(phases_.fault_injected != 0 ? phases_.fault_injected
+                                                   : phases_.interrupt_raised);
+    phase_timer_.mark("detect", eq_.now());
     if (trace_ && trace_->on(sim::TraceCat::kFt)) {
       trace_->log(sim::TraceCat::kFt, eq_.now(), "ftd", "woken by FATAL irq");
     }
@@ -28,9 +41,11 @@ void Ftd::on_fatal() {
     driver_.write_magic(cfg_.magic);
     step(cfg_.timing.magic_probe_wait, [this] {
       phases_.confirmed = eq_.now();
+      phase_timer_.mark("confirm", eq_.now());
       if (driver_.read_magic() != cfg_.magic) {
         // The MCP cleared it: interface alive after all.
         ++stats_.false_alarms;
+        metrics::bump(m_false_alarms_);
         busy_ = false;
         if (trace_ && trace_->on(sim::TraceCat::kFt)) {
           trace_->log(sim::TraceCat::kFt, eq_.now(), "ftd",
@@ -54,12 +69,14 @@ void Ftd::run_recovery() {
     driver_.clear_sram();
     step(cfg_.timing.sram_clear, [this] {
       phases_.sram_cleared = eq_.now();
+      phase_timer_.mark("reset", eq_.now());
       driver_.reload_mcp();
       step(cfg_.timing.mcp_reload, [this] {
         phases_.mcp_reloaded = eq_.now();
         driver_.restart_dma_and_interrupts();
         step(cfg_.timing.dma_restart, [this] {
           phases_.dma_restarted = eq_.now();
+          phase_timer_.mark("reload", eq_.now());
           driver_.register_page_hash();
           step(cfg_.timing.page_hash_restore, [this] {
             phases_.page_hash_done = eq_.now();
@@ -78,7 +95,12 @@ void Ftd::run_recovery() {
               }
               step(at, [this] {
                 phases_.events_posted = eq_.now();
+                // Page hash + routing tables + fault-event posting: the
+                // Table 3 "table restore" row.
+                phase_timer_.mark("restore", eq_.now());
+                phase_timer_.finish(eq_.now());
                 ++stats_.recoveries;
+                metrics::bump(m_recoveries_);
                 busy_ = false;  // rewind and stand guard for the next fault
                 if (trace_ && trace_->on(sim::TraceCat::kFt)) {
                   trace_->log(sim::TraceCat::kFt, eq_.now(), "ftd",

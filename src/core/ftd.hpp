@@ -17,6 +17,7 @@
 
 #include "core/driver.hpp"
 #include "host/timing.hpp"
+#include "metrics/registry.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/trace.hpp"
 
@@ -74,6 +75,12 @@ class Ftd {
   }
   void set_trace(sim::Trace* t) { trace_ = t; }
 
+  /// Publish recovery accounting under "<prefix>.": wakeup/false-alarm/
+  /// recovery counters plus the Table 3 per-phase duration histograms
+  /// "<prefix>.recovery.{detect,confirm,reset,reload,restore}_ns" (the
+  /// sixth Table 3 phase, port replay, is recorded by gm::Port).
+  void bind_metrics(metrics::Registry& reg, const std::string& prefix);
+
   /// Experiments stamp the injection time so Phases yields Figure 9.
   void mark_fault_injected() { phases_.fault_injected = eq_.now(); }
 
@@ -96,6 +103,11 @@ class Ftd {
   bool busy_ = false;
   Phases phases_;
   Stats stats_;
+
+  metrics::PhaseTimer phase_timer_;
+  metrics::Counter* m_wakeups_ = nullptr;
+  metrics::Counter* m_false_alarms_ = nullptr;
+  metrics::Counter* m_recoveries_ = nullptr;
 };
 
 }  // namespace myri::core

@@ -23,8 +23,10 @@ Cluster::Cluster(const ClusterConfig& cfg) : rng_(cfg.seed) {
     nodes_.push_back(
         std::make_unique<Node>(eq_, nc, "node" + std::to_string(i)));
     nodes_.back()->attach(*topo_, sw_, static_cast<std::uint8_t>(i));
+    nodes_.back()->bind_metrics(metrics_);
   }
   topo_->set_all_faults(cfg.faults);
+  topo_->bind_metrics(metrics_);
 
   if (cfg.install_routes) {
     // Node i sits on switch port i: the route a->b is the single byte [b].

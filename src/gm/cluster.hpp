@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "gm/node.hpp"
+#include "metrics/registry.hpp"
 #include "net/topology.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
@@ -38,6 +39,10 @@ class Cluster {
   [[nodiscard]] sim::EventQueue& eq() noexcept { return eq_; }
   [[nodiscard]] sim::Rng& rng() noexcept { return rng_; }
   [[nodiscard]] net::Topology& topo() noexcept { return *topo_; }
+  /// Cluster-wide observability: every node, link and switch publishes
+  /// its accounting here. Benches merge() per-repeat registries and/or
+  /// export Registry::to_json() for machine-readable baselines.
+  [[nodiscard]] metrics::Registry& metrics() noexcept { return metrics_; }
   [[nodiscard]] Node& node(int i) { return *nodes_.at(i); }
   [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
   [[nodiscard]] std::uint16_t switch_id() const noexcept { return sw_; }
@@ -54,6 +59,7 @@ class Cluster {
  private:
   sim::EventQueue eq_;
   sim::Rng rng_;
+  metrics::Registry metrics_;
   std::unique_ptr<net::Topology> topo_;
   std::uint16_t sw_ = 0;
   std::vector<std::unique_ptr<Node>> nodes_;

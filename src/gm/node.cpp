@@ -74,6 +74,10 @@ void Node::boot() {
 
 Port& Node::open_port(std::uint8_t id, Port::Config cfg) {
   ports_.at(id) = std::make_unique<Port>(*this, id, cfg);
+  if (metrics_ != nullptr) {
+    ports_[id]->bind_metrics(*metrics_,
+                             name_ + ".port" + std::to_string(id));
+  }
   driver_.open_port(id);
   return *ports_[id];
 }
@@ -109,6 +113,17 @@ void Node::set_trace(sim::Trace* t) {
   nic_.set_trace(t);
   mcp_.set_trace(t);
   if (ftd_) ftd_->set_trace(t);
+}
+
+void Node::bind_metrics(metrics::Registry& reg) {
+  metrics_ = &reg;
+  mcp_.bind_metrics(reg, name_ + ".mcp");
+  if (ftd_) ftd_->bind_metrics(reg, name_ + ".ftd");
+  for (std::uint8_t i = 0; i < ports_.size(); ++i) {
+    if (ports_[i]) {
+      ports_[i]->bind_metrics(reg, name_ + ".port" + std::to_string(i));
+    }
+  }
 }
 
 std::optional<host::DmaAddr> Node::alloc_pinned(std::uint32_t size) {

@@ -24,6 +24,7 @@
 #include "host/timing.hpp"
 #include "lanai/nic.hpp"
 #include "mcp/mcp.hpp"
+#include "metrics/registry.hpp"
 #include "net/topology.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/trace.hpp"
@@ -90,6 +91,11 @@ class Node final : public mcp::HostIface {
   [[nodiscard]] bool crashed() const noexcept { return crashed_; }
   void set_trace(sim::Trace* t);
 
+  /// Publish every component's accounting into `reg` under "<name>.*"
+  /// (mcp, ftd, and each port as it is opened).
+  void bind_metrics(metrics::Registry& reg);
+  [[nodiscard]] metrics::Registry* metrics() noexcept { return metrics_; }
+
   /// Allocate pinned host memory (page-registered separately per port).
   std::optional<host::DmaAddr> alloc_pinned(std::uint32_t size);
 
@@ -109,6 +115,7 @@ class Node final : public mcp::HostIface {
   std::unique_ptr<core::Ftd> ftd_;
   std::array<std::unique_ptr<Port>, mcp::kMaxPorts> ports_{};
   bool crashed_ = false;
+  metrics::Registry* metrics_ = nullptr;
 };
 
 }  // namespace myri::gm

@@ -15,6 +15,31 @@ bool Port::ftgm() const {
   return node_.config().mode == mcp::McpMode::kFtgm;
 }
 
+void Port::bind_metrics(metrics::Registry& reg, const std::string& prefix) {
+  const std::string p = prefix + '.';
+  m_.sends_posted = &reg.counter(p + "sends_posted");
+  m_.sends_completed = &reg.counter(p + "sends_completed");
+  m_.msgs_received = &reg.counter(p + "msgs_received");
+  m_.bytes_sent = &reg.counter(p + "bytes_sent");
+  m_.bytes_received = &reg.counter(p + "bytes_received");
+  m_.send_cpu_ns = &reg.counter(p + "send_cpu_ns");
+  m_.recv_cpu_ns = &reg.counter(p + "recv_cpu_ns");
+  m_.recoveries = &reg.counter(p + "recoveries");
+  m_.send_tokens_in_flight = &reg.gauge(p + "send_tokens_in_flight");
+  m_.recv_tokens_posted = &reg.gauge(p + "recv_tokens_posted");
+  m_.event_queue_depth = &reg.gauge(p + "event_queue_depth");
+  m_.replay_ns = &reg.histogram(p + "recovery.replay_ns");
+}
+
+void Port::sync_token_gauges() {
+  metrics::level(m_.send_tokens_in_flight,
+                 static_cast<std::int64_t>(cfg_.send_tokens) -
+                     static_cast<std::int64_t>(send_tokens_free_));
+  metrics::level(m_.recv_tokens_posted,
+                 static_cast<std::int64_t>(cfg_.recv_tokens) -
+                     static_cast<std::int64_t>(recv_tokens_free_));
+}
+
 Buffer Port::alloc_dma_buffer(std::uint32_t size) {
   auto addr = node_.alloc_pinned(size);
   if (!addr) return {};
@@ -59,6 +84,9 @@ bool Port::submit_send(const Buffer& buf, std::uint32_t len,
   --send_tokens_free_;
   ++stats_.sends_posted;
   stats_.bytes_sent += len;
+  metrics::bump(m_.sends_posted);
+  metrics::bump(m_.bytes_sent, len);
+  sync_token_gauges();
 
   req.port = id_;
   req.host_addr = buf.addr;
@@ -82,6 +110,7 @@ bool Port::submit_send(const Buffer& buf, std::uint32_t len,
   }
   if (cb) send_callbacks_[req.token_id] = std::move(cb);
   stats_.send_cpu_ns += cost;
+  metrics::bump(m_.send_cpu_ns, cost);
 
   // The Node outlives every Port; capture it rather than `this` so a
   // gm_close between the charge and the PIO cannot dangle.
@@ -144,6 +173,7 @@ bool Port::provide_receive_buffer(const Buffer& buf, std::uint8_t priority) {
   if (!buf.valid()) return false;
   if (recv_tokens_free_ == 0) return false;
   --recv_tokens_free_;
+  sync_token_gauges();
 
   mcp::RecvToken tok;
   tok.port = id_;
@@ -173,6 +203,8 @@ void Port::set_alarm(sim::Time delay, std::function<void()> handler) {
 
 void Port::push_event(const mcp::EventRecord& ev) {
   queue_.push_back(ev);
+  metrics::level(m_.event_queue_depth,
+                 static_cast<std::int64_t>(queue_.size()));
   if (!pump_armed_) {
     pump_armed_ = true;
     node_.event_queue().schedule_after(
@@ -188,6 +220,8 @@ void Port::pump() {
   }
   const mcp::EventRecord ev = queue_.front();
   queue_.pop_front();
+  metrics::level(m_.event_queue_depth,
+                 static_cast<std::int64_t>(queue_.size()));
 
   const auto& t = node_.config().timing;
   sim::Time cost;
@@ -198,6 +232,7 @@ void Port::pump() {
       cost = t.hostt.recv_api_overhead;
       if (ftgm()) cost += t.hostt.ftgm_recv_backup;
       stats_.recv_cpu_ns += cost;
+      metrics::bump(m_.recv_cpu_ns, cost);
       break;
     case mcp::EventType::kSent:
       cost = sim::usecf(0.15);  // callback dispatch only
@@ -223,6 +258,9 @@ void Port::dispatch(const mcp::EventRecord& ev) {
       ++recv_tokens_free_;
       ++stats_.msgs_received;
       stats_.bytes_received += ev.len;
+      metrics::bump(m_.msgs_received);
+      metrics::bump(m_.bytes_received, ev.len);
+      sync_token_gauges();
       RecvInfo info;
       auto it = recv_buffers_.find(ev.token_id);
       if (it != recv_buffers_.end()) {
@@ -246,6 +284,8 @@ void Port::dispatch(const mcp::EventRecord& ev) {
       if (ftgm()) backup_.remove_send(ev.token_id);
       ++send_tokens_free_;
       ++stats_.sends_completed;
+      metrics::bump(m_.sends_completed);
+      sync_token_gauges();
       auto it = send_callbacks_.find(ev.token_id);
       if (it != send_callbacks_.end()) {
         auto cb = std::move(it->second);
@@ -291,6 +331,7 @@ void Port::unknown(const mcp::EventRecord& ev) {
       ++stats_.send_errors;
       if (ftgm()) backup_.remove_send(ev.token_id);
       ++send_tokens_free_;
+      sync_token_gauges();
       auto it = send_callbacks_.find(ev.token_id);
       if (it != send_callbacks_.end()) {
         auto cb = std::move(it->second);
@@ -307,6 +348,8 @@ void Port::unknown(const mcp::EventRecord& ev) {
 void Port::handle_fault_detected() {
   recovering_ = true;
   ++recoveries_;
+  metrics::bump(m_.recoveries);
+  recover_started_ = node_.event_queue().now();
 
   // The handler's execution time dominates per-process recovery (paper
   // Table 3: ~900 ms): port teardown/reopen handshakes, pinned-page
@@ -338,6 +381,10 @@ void Port::handle_fault_detected() {
     }
     node_.nic().ring_doorbell();
     recovering_ = false;
+    // Table 3's "per-process recovery" row: FAULT_DETECTED dispatch to
+    // tokens-replayed, i.e. the paper's port replay phase.
+    metrics::observe(m_.replay_ns,
+                     node_.event_queue().now() - recover_started_);
     if (on_recovered_) on_recovered_();
   }));
 }

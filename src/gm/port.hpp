@@ -19,6 +19,7 @@
 
 #include "core/backup_store.hpp"
 #include "mcp/types.hpp"
+#include "metrics/registry.hpp"
 #include "net/packet.hpp"
 #include "sim/time.hpp"
 
@@ -121,6 +122,10 @@ class Port {
     on_recovered_ = std::move(f);
   }
 
+  /// Publish this port's accounting (tokens in flight, event-queue depth,
+  /// host CPU time, recovery replay timing) under "<prefix>.".
+  void bind_metrics(metrics::Registry& reg, const std::string& prefix);
+
   // ---- introspection ----
   [[nodiscard]] std::uint32_t send_tokens_free() const noexcept {
     return send_tokens_free_;
@@ -154,6 +159,23 @@ class Port {
       f();
     };
   }
+
+  struct BoundMetrics {
+    metrics::Counter* sends_posted = nullptr;
+    metrics::Counter* sends_completed = nullptr;
+    metrics::Counter* msgs_received = nullptr;
+    metrics::Counter* bytes_sent = nullptr;
+    metrics::Counter* bytes_received = nullptr;
+    metrics::Counter* send_cpu_ns = nullptr;
+    metrics::Counter* recv_cpu_ns = nullptr;
+    metrics::Counter* recoveries = nullptr;
+    metrics::Gauge* send_tokens_in_flight = nullptr;
+    metrics::Gauge* recv_tokens_posted = nullptr;
+    metrics::Gauge* event_queue_depth = nullptr;
+    metrics::Histogram* replay_ns = nullptr;
+  };
+
+  void sync_token_gauges();
 
   bool submit_send(const Buffer& buf, std::uint32_t len,
                    mcp::SendRequest req, SendCallback cb);
@@ -193,7 +215,9 @@ class Port {
   core::BackupStore backup_;   // maintained only in FTGM mode
   bool recovering_ = false;
   std::uint64_t recoveries_ = 0;
+  sim::Time recover_started_ = 0;
   PortStats stats_;
+  BoundMetrics m_;
   std::shared_ptr<int> life_ = std::make_shared<int>(0);  // liveness token
 };
 

@@ -101,6 +101,7 @@ void Mcp::exec(sim::Time cost, std::function<void()> fn) {
   const sim::Time start = std::max(eq.now(), busy_until_);
   busy_until_ = start + cost;
   busy_ns_ += cost;
+  metrics::bump(m_.busy_ns, cost);
   const std::uint64_t g = gen_;
   eq.schedule_at(busy_until_, [this, g, fn = std::move(fn)] {
     if (hung_ || !loaded_ || g != gen_) return;
@@ -115,6 +116,7 @@ bool Mcp::run_interpreted(std::uint32_t entry) {
       r.cycles * static_cast<sim::Time>(cfg_.timing.lanai.cycle_time_ns());
   busy_until_ = std::max(busy_until_, nic_.event_queue().now()) + c;
   busy_ns_ += c;
+  metrics::bump(m_.busy_ns, c);
   if (r.status == lanai::RunStatus::kReturned) return true;
   handle_cpu_failure(r);
   return false;
@@ -136,6 +138,7 @@ void Mcp::become_hung(const std::string& reason) {
   hung_ = true;
   hang_reason_ = reason;
   ++stats_.hangs;
+  metrics::bump(m_.hangs);
   if (trace_ && trace_->on(sim::TraceCat::kMcp)) {
     trace_->log(sim::TraceCat::kMcp, nic_.event_queue().now(), nic_.name(),
                 "HUNG: " + reason);
@@ -168,6 +171,24 @@ void Mcp::restart_self() {
 
 void Mcp::inject_hang(const std::string& reason) { become_hung(reason); }
 
+void Mcp::bind_metrics(metrics::Registry& reg, const std::string& prefix) {
+  const std::string p = prefix + '.';
+  m_.sends_posted = &reg.counter(p + "sends_posted");
+  m_.fragments_tx = &reg.counter(p + "fragments_tx");
+  m_.retransmissions = &reg.counter(p + "retransmissions");
+  m_.acks_tx = &reg.counter(p + "acks_tx");
+  m_.acks_rx = &reg.counter(p + "acks_rx");
+  m_.nacks_tx = &reg.counter(p + "nacks_tx");
+  m_.nacks_rx = &reg.counter(p + "nacks_rx");
+  m_.crc_drops = &reg.counter(p + "crc_drops");
+  m_.msgs_delivered = &reg.counter(p + "msgs_delivered");
+  m_.events_posted = &reg.counter(p + "events_posted");
+  m_.l_timer_runs = &reg.counter(p + "l_timer_runs");
+  m_.hangs = &reg.counter(p + "hangs");
+  m_.busy_ns = &reg.counter(p + "busy_ns");
+  m_.l_timer_gap = &reg.histogram(p + "l_timer_gap_ns");
+}
+
 // --------------------------------------------------------------------------
 // L_timer and control path
 // --------------------------------------------------------------------------
@@ -186,9 +207,14 @@ void Mcp::arm_watchdog() {
 
 void Mcp::run_l_timer() {
   ++stats_.l_timer_runs;
+  metrics::bump(m_.l_timer_runs);
   const sim::Time now = nic_.event_queue().now();
-  if (last_l_timer_ != 0 && now - last_l_timer_ > max_l_timer_gap_) {
-    max_l_timer_gap_ = now - last_l_timer_;
+  if (last_l_timer_ != 0) {
+    const sim::Time gap = now - last_l_timer_;
+    if (gap > max_l_timer_gap_) max_l_timer_gap_ = gap;
+    // The gap distribution underpins the paper's IT1 interval choice
+    // (L_timer can lag its nominal period by ~800 us of queueing).
+    metrics::observe(m_.l_timer_gap, gap);
   }
   last_l_timer_ = now;
   nic_.clear_isr_bits(lanai::kIsrIt0);
@@ -267,6 +293,7 @@ Mcp::SendStream& Mcp::send_stream(net::NodeId peer, std::uint32_t sid) {
 void Mcp::host_post_send(const SendRequest& req) {
   if (hung_ || !loaded_) return;
   ++stats_.sends_posted;
+  metrics::bump(m_.sends_posted);
   const std::uint32_t sid = req.internal ? internal_stream_id(req.port)
                                          : stream_id(cfg_.mode, req.port);
 
@@ -468,6 +495,7 @@ void Mcp::finish_fragment_tx() {
   if (!run_interpreted(image_.entry_tx)) return;
   dma_active_ = false;
   ++stats_.fragments_tx;
+  metrics::bump(m_.fragments_tx);
   auto it = send_streams_.find(pending_stream_key_);
   if (it != send_streams_.end()) {
     SendStream& s = it->second;
@@ -475,6 +503,7 @@ void Mcp::finish_fragment_tx() {
       s.high_water = pending_seq_ + 1;
     } else {
       ++stats_.retransmissions;
+      metrics::bump(m_.retransmissions);
     }
     // Only advance if no NACK rewound the cursor while the DMA was in
     // flight; a rewound cursor must win so the receiver's expected
@@ -486,6 +515,7 @@ void Mcp::finish_fragment_tx() {
 
 void Mcp::on_ack(const net::Packet& pkt) {
   ++stats_.acks_rx;
+  metrics::bump(m_.acks_rx);
   auto it = send_streams_.find(stream_key(pkt.src, pkt.stream));
   if (it == send_streams_.end()) return;
   SendStream& s = it->second;
@@ -501,6 +531,7 @@ void Mcp::on_ack(const net::Packet& pkt) {
 
 void Mcp::on_nack(const net::Packet& pkt) {
   ++stats_.nacks_rx;
+  metrics::bump(m_.nacks_rx);
   auto it = send_streams_.find(stream_key(pkt.src, pkt.stream));
   if (it == send_streams_.end()) return;
   SendStream& s = it->second;
@@ -608,6 +639,7 @@ void Mcp::on_packet() {
           on_ack(pkt);
         } else {
           ++stats_.crc_drops;
+    metrics::bump(m_.crc_drops);
         }
         break;
       case net::PacketType::kNack:
@@ -615,6 +647,7 @@ void Mcp::on_packet() {
           on_nack(pkt);
         } else {
           ++stats_.crc_drops;
+    metrics::bump(m_.crc_drops);
         }
         break;
       case net::PacketType::kGetReq:
@@ -639,6 +672,7 @@ void Mcp::on_packet() {
 
 void Mcp::send_ack(net::NodeId to, std::uint32_t sid, std::uint32_t ack_seq) {
   ++stats_.acks_tx;
+  metrics::bump(m_.acks_tx);
   net::Packet ack;
   ack.type = net::PacketType::kAck;
   ack.src = nic_.node_id();
@@ -652,6 +686,7 @@ void Mcp::send_ack(net::NodeId to, std::uint32_t sid, std::uint32_t ack_seq) {
 void Mcp::send_nack(net::NodeId to, std::uint32_t sid,
                     std::uint32_t expected) {
   ++stats_.nacks_tx;
+  metrics::bump(m_.nacks_tx);
   net::Packet nack;
   nack.type = net::PacketType::kNack;
   nack.src = nic_.node_id();
@@ -671,6 +706,7 @@ void Mcp::handle_data(net::Packet pkt) {
     // Transient bit corruption in flight: the CRC check catches it; the
     // sender's Go-Back-N retransmits (paper Section 2).
     ++stats_.crc_drops;
+    metrics::bump(m_.crc_drops);
     return;
   }
   // A closed port generates no protocol responses at all: between an MCP
@@ -878,6 +914,7 @@ void Mcp::fragment_dma_done(std::uint64_t /*key*/, std::uint32_t seq,
                             std::uint8_t src_port, std::uint32_t sid) {
   if (!last) return;
   ++stats_.msgs_delivered;
+  metrics::bump(m_.msgs_delivered);
   EventRecord ev;
   ev.type = EventType::kRecv;
   ev.port = token.port;
@@ -906,6 +943,7 @@ void Mcp::post_event(std::uint8_t port, EventRecord ev,
            [this, g = gen_, port, ev, after = std::move(after)] {
              if (!loaded_ || g != gen_) return;
              ++stats_.events_posted;
+             metrics::bump(m_.events_posted);
              if (host_) host_->post_event(port, ev);
              if (after && !hung_) after();
            });
@@ -945,6 +983,7 @@ void Mcp::handle_get_req(const net::Packet& pkt) {
   }
   if (!pkt.intact()) {
     ++stats_.crc_drops;
+    metrics::bump(m_.crc_drops);
     return;
   }
   const std::uint8_t port = pkt.dst_port;

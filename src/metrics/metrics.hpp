@@ -3,6 +3,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -12,7 +13,10 @@ namespace myri::metrics {
 
 class LatencyRecorder {
  public:
-  void add(sim::Time t) { samples_.push_back(t); }
+  void add(sim::Time t) {
+    samples_.push_back(t);
+    sorted_ = samples_.size() <= 1;
+  }
 
   [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
 
@@ -25,28 +29,47 @@ class LatencyRecorder {
 
   [[nodiscard]] double min_us() const {
     if (samples_.empty()) return 0.0;
-    return sim::to_usec(*std::min_element(samples_.begin(), samples_.end()));
+    ensure_sorted();
+    return sim::to_usec(samples_.front());
   }
 
   [[nodiscard]] double max_us() const {
     if (samples_.empty()) return 0.0;
-    return sim::to_usec(*std::max_element(samples_.begin(), samples_.end()));
+    ensure_sorted();
+    return sim::to_usec(samples_.back());
   }
 
-  /// p in [0,100]; nearest-rank percentile.
+  /// p in [0,100]; nearest-rank percentile: the smallest sample whose rank
+  /// is >= ceil(p/100 * N), i.e. index ceil(p/100 * N) - 1 once sorted.
   [[nodiscard]] double percentile_us(double p) const {
     if (samples_.empty()) return 0.0;
-    std::vector<sim::Time> s = samples_;
-    std::sort(s.begin(), s.end());
-    const auto idx = static_cast<std::size_t>(
-        std::min<double>(s.size() - 1, p / 100.0 * s.size()));
-    return sim::to_usec(s[idx]);
+    ensure_sorted();
+    const double rank =
+        std::ceil(p / 100.0 * static_cast<double>(samples_.size()));
+    const std::size_t idx = static_cast<std::size_t>(
+        std::clamp<double>(rank, 1.0,
+                           static_cast<double>(samples_.size()))) -
+        1;
+    return sim::to_usec(samples_[idx]);
   }
 
-  void clear() { samples_.clear(); }
+  void clear() {
+    samples_.clear();
+    sorted_ = true;
+  }
 
  private:
-  std::vector<sim::Time> samples_;
+  // Sorted lazily, in place, at most once per batch of adds: aggregate
+  // queries never depend on insertion order.
+  void ensure_sorted() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<sim::Time> samples_;
+  mutable bool sorted_ = true;
 };
 
 /// Sustained data rate of `bytes` moved during [start, end].

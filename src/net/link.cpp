@@ -14,6 +14,15 @@ void Link::connect(PacketSink& dst, std::uint8_t dst_port) {
 
 bool Link::can_accept() const { return queued_ < cfg_.max_queued_packets; }
 
+void Link::bind_metrics(metrics::Registry& reg) {
+  const std::string p = "link." + name_ + '.';
+  m_.offered_bytes = &reg.counter(p + "offered_bytes");
+  m_.delivered_bytes = &reg.counter(p + "delivered_bytes");
+  m_.dropped = &reg.counter(p + "dropped");
+  m_.corrupted = &reg.counter(p + "corrupted");
+  m_.misrouted = &reg.counter(p + "misrouted");
+}
+
 sim::Time Link::serialization_time(std::size_t bytes) const {
   // bits / (Gb/s) = ns exactly, so: bytes * 8 / gbps nanoseconds.
   return static_cast<sim::Time>(static_cast<double>(bytes) * 8.0 / cfg_.gbps);
@@ -24,10 +33,12 @@ void Link::apply_faults(Packet& pkt, bool& drop) {
   if (rng_.bernoulli(faults_.drop_prob)) {
     drop = true;
     ++stats_.dropped;
+    metrics::bump(m_.dropped);
     return;
   }
   if (rng_.bernoulli(faults_.corrupt_prob)) {
     ++stats_.corrupted;
+    metrics::bump(m_.corrupted);
     if (!pkt.payload.empty()) {
       const std::size_t bit = static_cast<std::size_t>(
           rng_.below(pkt.payload.size() * 8));
@@ -41,6 +52,7 @@ void Link::apply_faults(Packet& pkt, bool& drop) {
   }
   if (!pkt.route.empty() && rng_.bernoulli(faults_.misroute_prob)) {
     ++stats_.misrouted;
+    metrics::bump(m_.misrouted);
     pkt.route.front() =
         static_cast<std::uint8_t>(pkt.route.front() ^ (1u + rng_.below(7)));
   }
@@ -48,10 +60,14 @@ void Link::apply_faults(Packet& pkt, bool& drop) {
 
 void Link::send(Packet pkt) {
   assert(dst_ != nullptr && "link not connected");
+  // Fault injection only flips bits, so the wire size is stable from here.
+  const std::size_t wire = pkt.wire_size();
   ++stats_.sent;
-  stats_.bytes += pkt.wire_size();
+  stats_.offered_bytes += wire;
+  metrics::bump(m_.offered_bytes, wire);
   if (down_) {
     ++stats_.dropped;  // unplugged cable: everything is lost
+    metrics::bump(m_.dropped);
     return;
   }
 
@@ -66,7 +82,7 @@ void Link::send(Packet pkt) {
   }
 
   const sim::Time depart = std::max(eq_.now(), busy_until_);
-  const sim::Time ser = serialization_time(pkt.wire_size());
+  const sim::Time ser = serialization_time(wire);
   busy_until_ = depart + ser;
   const sim::Time arrive = busy_until_ + cfg_.propagation;
 
@@ -75,9 +91,11 @@ void Link::send(Packet pkt) {
     trace_->log(sim::TraceCat::kNet, eq_.now(), name_,
                 "TX " + pkt.describe());
   }
-  eq_.schedule_at(arrive, [this, p = std::move(pkt)]() mutable {
+  eq_.schedule_at(arrive, [this, wire, p = std::move(pkt)]() mutable {
     --queued_;
     ++stats_.delivered;
+    stats_.delivered_bytes += wire;
+    metrics::bump(m_.delivered_bytes, wire);
     dst_->deliver(std::move(p), dst_port_);
   });
 }

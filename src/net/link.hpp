@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 
+#include "metrics/registry.hpp"
 #include "net/packet.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
@@ -39,7 +40,11 @@ struct LinkStats {
   std::uint64_t dropped = 0;
   std::uint64_t corrupted = 0;
   std::uint64_t misrouted = 0;
-  std::uint64_t bytes = 0;
+  // Offered load counts every packet handed to the link; delivered load
+  // counts only what reached the far end. Dropped and cable-cut packets
+  // must never inflate a bandwidth computation, so the two are separate.
+  std::uint64_t offered_bytes = 0;
+  std::uint64_t delivered_bytes = 0;
 };
 
 class Link {
@@ -57,6 +62,9 @@ class Link {
 
   void set_faults(const LinkFaults& f) { faults_ = f; }
   void set_trace(sim::Trace* t) { trace_ = t; }
+
+  /// Publish this link's accounting into `reg` under "link.<name>.*".
+  void bind_metrics(metrics::Registry& reg);
 
   /// Take the link down (unplugged/failed cable): everything sent is lost.
   void set_down(bool down) { down_ = down; }
@@ -80,6 +88,14 @@ class Link {
  private:
   void apply_faults(Packet& pkt, bool& drop);
 
+  struct BoundMetrics {
+    metrics::Counter* offered_bytes = nullptr;
+    metrics::Counter* delivered_bytes = nullptr;
+    metrics::Counter* dropped = nullptr;
+    metrics::Counter* corrupted = nullptr;
+    metrics::Counter* misrouted = nullptr;
+  };
+
   sim::EventQueue& eq_;
   sim::Rng rng_;
   Config cfg_;
@@ -92,6 +108,7 @@ class Link {
   std::size_t queued_ = 0;
   bool down_ = false;
   sim::Trace* trace_ = nullptr;
+  BoundMetrics m_;
 };
 
 }  // namespace myri::net

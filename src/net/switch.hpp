@@ -43,6 +43,9 @@ class Switch : public PacketSink {
 
   void set_trace(sim::Trace* t) { trace_ = t; }
 
+  /// Publish this switch's accounting into `reg` under "switch.<name>.*".
+  void bind_metrics(metrics::Registry& reg);
+
   [[nodiscard]] std::uint16_t id() const noexcept { return id_; }
   [[nodiscard]] std::uint8_t num_ports() const noexcept { return num_ports_; }
   [[nodiscard]] const SwitchStats& stats() const noexcept { return stats_; }
@@ -52,6 +55,12 @@ class Switch : public PacketSink {
   void forward(Packet pkt, std::uint8_t out_port, unsigned attempts);
   void answer_scout(const Packet& scout, std::uint8_t in_port);
 
+  struct BoundMetrics {
+    metrics::Counter* forwarded = nullptr;
+    metrics::Counter* dead_routed = nullptr;
+    metrics::Counter* backpressure_stalls = nullptr;
+  };
+
   sim::EventQueue& eq_;
   std::uint16_t id_;
   std::uint8_t num_ports_;
@@ -60,6 +69,7 @@ class Switch : public PacketSink {
   std::vector<Link*> out_;   // indexed by port; nullptr if unconnected
   SwitchStats stats_;
   sim::Trace* trace_ = nullptr;
+  BoundMetrics m_;
 };
 
 }  // namespace myri::net

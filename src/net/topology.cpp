@@ -12,6 +12,7 @@ std::uint16_t Topology::add_switch(std::uint8_t ports, std::string name) {
   switches_.push_back(
       std::make_unique<Switch>(eq_, id, ports, switch_cfg_, std::move(name)));
   switches_.back()->set_trace(trace_);
+  if (metrics_ != nullptr) switches_.back()->bind_metrics(*metrics_);
   return id;
 }
 
@@ -19,6 +20,7 @@ Link& Topology::new_link(std::string name) {
   links_.push_back(std::make_unique<Link>(eq_, rng_.fork(links_.size() + 1),
                                           link_cfg_, std::move(name)));
   links_.back()->set_trace(trace_);
+  if (metrics_ != nullptr) links_.back()->bind_metrics(*metrics_);
   return *links_.back();
 }
 
@@ -65,6 +67,12 @@ void Topology::set_trace(sim::Trace* t) {
   trace_ = t;
   for (auto& l : links_) l->set_trace(t);
   for (auto& s : switches_) s->set_trace(t);
+}
+
+void Topology::bind_metrics(metrics::Registry& reg) {
+  metrics_ = &reg;
+  for (auto& l : links_) l->bind_metrics(reg);
+  for (auto& s : switches_) s->bind_metrics(reg);
 }
 
 std::vector<Link*> Topology::links() {

@@ -47,6 +47,10 @@ class Topology {
 
   void set_trace(sim::Trace* t);
 
+  /// Publish every link's and switch's accounting into `reg`; devices
+  /// added later bind on creation.
+  void bind_metrics(metrics::Registry& reg);
+
   [[nodiscard]] Switch& get_switch(std::uint16_t id) {
     return *switches_.at(id);
   }
@@ -64,6 +68,7 @@ class Topology {
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<std::pair<Link*, Link*>> cables_;  // switch-to-switch pairs
   sim::Trace* trace_ = nullptr;
+  metrics::Registry* metrics_ = nullptr;
 };
 
 }  // namespace myri::net

@@ -187,7 +187,8 @@ TEST(LinkStats, ByteAccountingMatchesWireSizes) {
   link.send(p);
   link.send(p);
   eq.run();
-  EXPECT_EQ(link.stats().bytes, 2 * wire);
+  EXPECT_EQ(link.stats().offered_bytes, 2 * wire);
+  EXPECT_EQ(link.stats().delivered_bytes, 2 * wire);
   EXPECT_EQ(link.stats().delivered, 2u);
 }
 
