@@ -1,0 +1,179 @@
+// Failover under load: kill an inter-switch cable on a 16-node fat-tree
+// while every leaf streams cross-fabric traffic, and measure what the
+// paper's mapper-driven reconfiguration costs end to end:
+//   - time-to-reroute (cable event -> fresh routes distributed), from the
+//     fabric.failover.remap_ns histogram the FailoverManager publishes
+//   - the delivered-bytes dip: goodput binned over virtual time, pre-kill
+//     rate vs the worst bin of the outage, and when goodput recovers
+//   - exactly-once delivery across the event (no losses, no duplicates)
+//
+// Prints a human table plus one JSON object per run on stdout (and the
+// full registry via MYRI_METRICS_JSON, like every other bench).
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "faultinject/workload.hpp"
+#include "gm/cluster.hpp"
+#include "mapper/failover.hpp"
+
+using namespace myri;
+
+namespace {
+
+constexpr int kNodes = 16;
+constexpr int kStreams = 8;        // node i -> node i+8: always cross-leaf
+constexpr std::uint32_t kLen = 2048;
+constexpr sim::Time kBin = sim::usec(200);
+constexpr sim::Time kKillAt = sim::msec(2);
+
+struct RunResult {
+  double remap_us = 0;          // time-to-reroute for this run
+  double prekill_bytes_per_ms = 0;
+  double dip_bytes_per_ms = 0;  // worst bin in the 5 ms after the kill
+  double recover_ms = 0;        // kill -> first post-stall delivery on an
+                                // affected stream (0->8 crosses the trunk)
+  bool complete = false;
+  int duplicates = 0;
+};
+
+RunResult one_run(std::uint64_t seed, metrics::Registry* agg) {
+  gm::ClusterConfig cc;
+  cc.nodes = kNodes;
+  cc.fabric = net::FabricPreset::kFatTree;
+  cc.seed = seed;
+  gm::Cluster cluster(cc);
+  mapper::FailoverManager fm(cluster);
+
+  fi::StreamWorkload::Config wc;
+  wc.total_msgs = bench::scaled(400);
+  wc.msg_len = kLen;
+  std::vector<std::unique_ptr<fi::StreamWorkload>> wls;
+  for (int i = 0; i < kStreams; ++i) {
+    wls.push_back(std::make_unique<fi::StreamWorkload>(
+        cluster.node(i).open_port(2, {24, 24}),
+        cluster.node(i + kStreams).open_port(3, {24, 24}), wc));
+  }
+  // Goodput sampler: delivered bytes per kBin of virtual time, aligned to
+  // t=0 so the kill lands exactly on a bin boundary.
+  std::vector<std::uint64_t> bins;
+  std::vector<int> s0_bins;  // per-bin deliveries on the affected stream
+  std::uint64_t last_total = 0;
+  int last_s0 = 0;
+  std::function<void()> sample = [&] {
+    std::uint64_t total = 0;
+    for (auto& w : wls) total += static_cast<std::uint64_t>(w->received());
+    bins.push_back((total - last_total) * kLen);
+    last_total = total;
+    s0_bins.push_back(wls[0]->received() - last_s0);
+    last_s0 = wls[0]->received();
+    cluster.eq().schedule_after(kBin, sample);
+  };
+  cluster.eq().schedule_after(kBin, sample);
+
+  cluster.run_for(sim::usec(900));
+  for (auto& w : wls) w->start();
+
+  // The kill: leaf0's first uplink (the BFS-preferred spine for every
+  // cross-leaf route out of leaf 0).
+  cluster.eq().schedule_after(kKillAt, [&] {
+    cluster.topo().set_cable_down(cluster.fabric().trunk_cables()[0], true);
+  });
+
+  const sim::Time horizon = sim::msec(400);
+  while (cluster.eq().now() < horizon) {
+    cluster.run_for(sim::msec(5));
+    bool all = true;
+    for (auto& w : wls) all = all && w->complete();
+    if (all) break;
+  }
+
+  RunResult r;
+  r.complete = true;
+  for (auto& w : wls) {
+    r.complete = r.complete && w->complete();
+    r.duplicates += w->duplicates();
+  }
+  const auto& remap = cluster.metrics().histogram("fabric.failover.remap_ns");
+  r.remap_us = remap.count() > 0 ? remap.mean() / 1000.0 : 0.0;
+
+  // Bin analysis. Bins [warmup .. kill) give the steady pre-kill rate;
+  // the outage window is the 5 ms after the kill.
+  const std::size_t kill_bin = static_cast<std::size_t>(kKillAt / kBin);
+  const std::size_t warm_bin = 6;  // skip ramp-up (startup + first ~300 us)
+  const double per_ms = static_cast<double>(sim::msec(1)) / kBin;
+  double pre = 0;
+  for (std::size_t i = warm_bin; i < kill_bin && i < bins.size(); ++i) {
+    pre += static_cast<double>(bins[i]);
+  }
+  if (kill_bin > warm_bin) pre /= static_cast<double>(kill_bin - warm_bin);
+  r.prekill_bytes_per_ms = pre * per_ms;
+  const std::size_t outage_end =
+      std::min(bins.size(), kill_bin + static_cast<std::size_t>(
+                                           sim::msec(5) / kBin));
+  double dip = r.prekill_bytes_per_ms;
+  for (std::size_t i = kill_bin; i < outage_end; ++i) {
+    dip = std::min(dip, static_cast<double>(bins[i]) * per_ms);
+  }
+  r.dip_bytes_per_ms = dip;
+  // Recovery on the affected stream: in-flight messages drain first, then
+  // the stream stalls until the remap installs a detour. The end of that
+  // zero-delivery gap, measured from the kill, is the resume time.
+  std::size_t i = kill_bin;
+  while (i < s0_bins.size() && s0_bins[i] != 0) ++i;  // drain
+  while (i < s0_bins.size() && s0_bins[i] == 0) ++i;  // stall
+  if (i < s0_bins.size()) {
+    r.recover_ms =
+        static_cast<double>(i - kill_bin) * static_cast<double>(kBin) / 1e6;
+  }
+  if (agg != nullptr) agg->merge(cluster.metrics());
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Failover bench -- trunk-cable kill under load (16-node fat-tree)");
+  std::printf("%d cross-leaf streams of %d x %u B; leaf0-spine0 trunk "
+              "killed at %.1f ms\n\n",
+              kStreams, bench::scaled(400), kLen, sim::to_msec(kKillAt));
+  std::printf("  %-4s %12s %15s %15s %12s %9s %4s\n", "run", "remap (us)",
+              "pre-kill (B/ms)", "dip (B/ms)", "recover (ms)", "complete",
+              "dup");
+
+  const int kRepeats = bench::scaled(3);
+  metrics::Registry agg;
+  bool all_ok = true;
+  std::vector<RunResult> results;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    RunResult r = one_run(7000 + static_cast<std::uint64_t>(rep), &agg);
+    results.push_back(r);
+    all_ok = all_ok && r.complete && r.duplicates == 0;
+    std::printf("  %-4d %12.1f %15.0f %15.0f %12.1f %9s %4d\n", rep,
+                r.remap_us, r.prekill_bytes_per_ms, r.dip_bytes_per_ms,
+                r.recover_ms, r.complete ? "yes" : "NO", r.duplicates);
+  }
+
+  // Machine-readable summary: one JSON object per run.
+  std::printf("\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    std::printf("{\"bench\":\"failover\",\"run\":%zu,\"nodes\":%d,"
+                "\"streams\":%d,\"remap_us\":%.1f,"
+                "\"prekill_bytes_per_ms\":%.0f,\"dip_bytes_per_ms\":%.0f,"
+                "\"recover_ms\":%.1f,\"complete\":%s,\"duplicates\":%d}\n",
+                i, kNodes, kStreams, r.remap_us, r.prekill_bytes_per_ms,
+                r.dip_bytes_per_ms, r.recover_ms,
+                r.complete ? "true" : "false", r.duplicates);
+  }
+  bench::export_registry_json(agg);
+  if (!all_ok) {
+    std::printf("\nFAIL: a stream lost or duplicated messages\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,13 +1,20 @@
 // cluster_sim: command-line scenario runner for the simulated platform.
 //
-//   cluster_sim [--nodes N] [--mode gm|ftgm] [--msgs M] [--len BYTES]
+//   cluster_sim [--nodes N] [--fabric single|line|ring|fat-tree]
+//               [--radix R] [--mode gm|ftgm] [--msgs M] [--len BYTES]
 //               [--drop P] [--corrupt P] [--hang-at USEC[,USEC...]]
-//               [--victim NODE] [--seed S] [--horizon-ms MS] [--trace]
+//               [--victim NODE] [--kill-cable-at USEC] [--cable IDX]
+//               [--seed S] [--horizon-ms MS] [--trace]
 //
 // Runs a verified all-pairs-neighbour workload under the given fault
 // scenario and prints a full report: delivery/exactly-once status, MCP and
 // NIC counters, recovery statistics. The Swiss-army knife for exploring
 // the system without writing code.
+//
+// Node count is bounded only by the fabric preset's capacity: a 64-node
+// run wants --fabric fat-tree (16 leaves + 4 spines at the default radix).
+// --kill-cable-at downs a trunk cable mid-run and lets the mapper-driven
+// FailoverManager reroute around it.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,6 +24,7 @@
 
 #include "faultinject/workload.hpp"
 #include "gm/cluster.hpp"
+#include "mapper/failover.hpp"
 
 using namespace myri;
 
@@ -24,12 +32,16 @@ namespace {
 
 struct Options {
   int nodes = 2;
+  net::FabricPreset fabric = net::FabricPreset::kSingleSwitch;
+  int radix = 8;
   mcp::McpMode mode = mcp::McpMode::kFtgm;
   int msgs = 50;
   std::uint32_t len = 2048;
   double drop = 0, corrupt = 0;
   std::vector<double> hang_at_us;
   int victim = 0;
+  double kill_cable_at_us = -1;  // <0 = no cable kill
+  int cable = 0;                 // trunk-cable index to kill
   std::uint64_t seed = 42;
   double horizon_ms = 0;  // 0 = auto
   bool trace = false;
@@ -47,6 +59,19 @@ Options parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--nodes") o.nodes = std::atoi(next(i));
+    else if (a == "--fabric") {
+      const char* v = next(i);
+      const auto p = net::parse_fabric_preset(v);
+      if (!p) {
+        std::fprintf(stderr,
+                     "--fabric must be single|line|ring|fat-tree, got %s\n",
+                     v);
+        std::exit(2);
+      }
+      o.fabric = *p;
+    } else if (a == "--radix") o.radix = std::atoi(next(i));
+    else if (a == "--kill-cable-at") o.kill_cable_at_us = std::atof(next(i));
+    else if (a == "--cable") o.cable = std::atoi(next(i));
     else if (a == "--mode") {
       o.mode = std::strcmp(next(i), "gm") == 0 ? mcp::McpMode::kGm
                                                : mcp::McpMode::kFtgm;
@@ -71,8 +96,14 @@ Options parse(int argc, char** argv) {
       std::exit(2);
     }
   }
-  if (o.nodes < 2 || o.nodes > 8) {
-    std::fprintf(stderr, "--nodes must be 2..8\n");
+  net::FabricConfig fc;
+  fc.preset = o.fabric;
+  fc.nodes = o.nodes;
+  fc.radix = static_cast<std::uint8_t>(o.radix);
+  const std::size_t cap = net::FabricBuilder::capacity(fc);
+  if (o.nodes < 2 || static_cast<std::size_t>(o.nodes) > cap) {
+    std::fprintf(stderr, "--nodes must be 2..%zu for --fabric %s --radix %d\n",
+                 cap, net::to_string(o.fabric), o.radix);
     std::exit(2);
   }
   return o;
@@ -85,10 +116,34 @@ int main(int argc, char** argv) {
 
   gm::ClusterConfig cc;
   cc.nodes = o.nodes;
+  cc.fabric = o.fabric;
+  cc.switch_ports = static_cast<std::uint8_t>(o.radix);
   cc.mode = o.mode;
   cc.seed = o.seed;
   cc.faults = {o.drop, o.corrupt, 0.0};
   gm::Cluster cluster(cc);
+
+  // Cable-kill scenario: the FailoverManager watches the topology and
+  // re-runs the mapper when the trunk goes down.
+  std::unique_ptr<mapper::FailoverManager> fm;
+  if (o.kill_cable_at_us >= 0) {
+    const auto& trunks = cluster.fabric().trunk_cables();
+    if (trunks.empty()) {
+      std::fprintf(stderr, "--kill-cable-at needs a multi-switch --fabric\n");
+      return 2;
+    }
+    if (o.cable < 0 || static_cast<std::size_t>(o.cable) >= trunks.size()) {
+      std::fprintf(stderr, "--cable must be 0..%zu\n", trunks.size() - 1);
+      return 2;
+    }
+    fm = std::make_unique<mapper::FailoverManager>(cluster);
+    cluster.eq().schedule_after(sim::usecf(o.kill_cable_at_us),
+                                [&cluster, &o] {
+                                  cluster.topo().set_cable_down(
+                                      cluster.fabric().trunk_cables()[o.cable],
+                                      true);
+                                });
+  }
 
   sim::Trace trace;
   if (o.trace) {
@@ -124,7 +179,8 @@ int main(int argc, char** argv) {
 
   const double auto_ms =
       10.0 + o.msgs * o.nodes * 0.1 +
-      (o.hang_at_us.empty() ? 0.0 : 4000.0 * o.hang_at_us.size());
+      (o.hang_at_us.empty() ? 0.0 : 4000.0 * o.hang_at_us.size()) +
+      (o.kill_cable_at_us >= 0 ? 1000.0 : 0.0);
   const sim::Time horizon =
       sim::usecf((o.horizon_ms > 0 ? o.horizon_ms : auto_ms) * 1000.0);
   while (cluster.eq().now() < horizon) {
@@ -134,11 +190,25 @@ int main(int argc, char** argv) {
     if (all) break;
   }
 
-  std::printf("scenario: %d nodes, %s, %d x %u B per stream, drop=%.2f "
-              "corrupt=%.2f, %zu hang(s) on node %d\n",
-              o.nodes, o.mode == mcp::McpMode::kGm ? "GM" : "FTGM", o.msgs,
-              o.len, o.drop, o.corrupt, o.hang_at_us.size(), o.victim);
+  std::printf("scenario: %d nodes on %s fabric (%zu switches, %zu trunks), "
+              "%s, %d x %u B per stream, drop=%.2f corrupt=%.2f, %zu "
+              "hang(s) on node %d\n",
+              o.nodes, net::to_string(o.fabric),
+              cluster.fabric().num_switches(),
+              cluster.fabric().trunk_cables().size(),
+              o.mode == mcp::McpMode::kGm ? "GM" : "FTGM", o.msgs, o.len,
+              o.drop, o.corrupt, o.hang_at_us.size(), o.victim);
   std::printf("virtual time: %.3f s\n\n", sim::to_sec(cluster.eq().now()));
+  if (fm) {
+    const auto& remap_ns =
+        cluster.metrics().histogram("fabric.failover.remap_ns");
+    std::printf("failover: cable %d down at %.0f us -> %llu remap(s), "
+                "%llu failed, remap latency max %.3f ms\n\n",
+                o.cable, o.kill_cable_at_us,
+                static_cast<unsigned long long>(fm->remaps()),
+                static_cast<unsigned long long>(fm->failed_remaps()),
+                static_cast<double>(remap_ns.max()) / 1e6);
+  }
 
   bool all_ok = true;
   for (int i = 0; i < o.nodes; ++i) {

@@ -73,12 +73,22 @@ struct Server {
       std::fill(out.begin(), out.end(), std::byte{0});
       std::memcpy(out.data(), value.data(),
                   std::min<std::size_t>(value.size(), kValueSize));
-      port.directed_send_with_callback(buf, kValueSize, r.client,
-                                       r.client_port, r.reply_addr,
-                                       [this, buf](bool) {
-                                         reply_pool.push_back(buf);
-                                         pump_replies();
-                                       });
+      if (!port.post(buf, kValueSize,
+                     {.dst = r.client,
+                      .dst_port = r.client_port,
+                      .remote_vaddr = r.reply_addr,
+                      .callback = [this, buf](bool) {
+                        reply_pool.push_back(buf);
+                        pump_replies();
+                      }})) {
+        // Port is recovering or out of tokens: requeue and retry shortly
+        // (recovery replays finish in well under a second).
+        pending.push_front(r);
+        reply_pool.push_back(buf);
+        port.node().event_queue().schedule_after(sim::msec(1),
+                                                 [this] { pump_replies(); });
+        return;
+      }
     }
   }
 
@@ -109,8 +119,11 @@ struct Client {
     bytes[0] = std::byte{kPut};
     std::memcpy(&bytes[1], key.data(), 8);
     std::memcpy(&bytes[9], value.data(), value.size());
-    port.send_with_callback(req_buf, 9 + static_cast<std::uint32_t>(value.size()),
-                            server, 1, 0, [done](bool) { done(); });
+    if (!port.post(req_buf, 9 + static_cast<std::uint32_t>(value.size()),
+                   {.dst = server, .dst_port = 1,
+                    .callback = [done](bool) { done(); }})) {
+      std::printf("  !! PUT refused\n");
+    }
   }
 
   void get(const std::string& key, std::function<void(std::string)> done) {
@@ -120,7 +133,9 @@ struct Client {
     const auto addr = static_cast<std::uint32_t>(reply_slot.addr);
     std::memcpy(&bytes[9], &addr, 4);
     pending_get = std::move(done);
-    port.send_with_callback(req_buf, 13, server, 1, 0, nullptr);
+    if (!port.post(req_buf, 13, {.dst = server, .dst_port = 1})) {
+      std::printf("  !! GET refused\n");
+    }
     poll_reply();
   }
 

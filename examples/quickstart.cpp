@@ -41,12 +41,16 @@ int main() {
   gm::Buffer sbuf = sender.alloc_dma_buffer(256);
   cluster.node(0).memory().write(
       sbuf.addr, std::as_bytes(std::span(msg, sizeof(msg))));
-  sender.send_with_callback(
-      sbuf, sizeof(msg), /*dst=*/1, /*dst_port=*/4, /*priority=*/0,
-      [&](bool ok) {
-        std::printf("[node0] send %s (token returned to the process)\n",
-                    ok ? "complete" : "FAILED");
-      });
+  gm::Status st = sender.post(
+      sbuf, sizeof(msg),
+      {.dst = 1, .dst_port = 4, .callback = [&](bool ok) {
+         std::printf("[node0] send %s (token returned to the process)\n",
+                     ok ? "complete" : "FAILED");
+       }});
+  if (!st) {
+    std::printf("[node0] post refused: %s\n", st.message());
+    return 1;
+  }
 
   cluster.run_for(sim::msec(2));
 

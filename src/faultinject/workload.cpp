@@ -12,13 +12,12 @@ void StreamWorkload::start() {
   started_ = true;
   // Receiver side: post buffers and verify arrivals.
   for (int i = 0; i < cfg_.recv_buffers; ++i) {
-    gm::Buffer b = receiver_.alloc_dma_buffer(cfg_.msg_len);
-    receiver_.provide_receive_buffer(b, cfg_.priority);
+    provide_recv(receiver_.alloc_dma_buffer(cfg_.msg_len));
   }
   receiver_.set_receive_handler([this](const gm::RecvInfo& info) {
     verify(info);
     // Zero-copy discipline: hand the buffer straight back.
-    receiver_.provide_receive_buffer(info.buffer, cfg_.priority);
+    provide_recv(info.buffer);
   });
 
   // Sender side: one pinned buffer per in-flight slot.
@@ -57,22 +56,53 @@ void StreamWorkload::pump_sends() {
     if (slot < 0) return;  // all slots in flight; resume on a callback
     const int msg = next_msg_;
     fill(send_bufs_[static_cast<std::size_t>(slot)], msg);
-    const bool ok = sender_.send_with_callback(
+    const gm::Status st = sender_.post(
         send_bufs_[static_cast<std::size_t>(slot)], cfg_.msg_len,
-        receiver_.node().id(), receiver_.id(), cfg_.priority,
-        [this, slot](bool success) {
-          slot_busy_[static_cast<std::size_t>(slot)] = false;
-          if (success) {
-            ++sent_ok_;
-          } else {
-            ++send_failures_;
-          }
-          pump_sends();
-        });
-    if (!ok) return;  // out of send tokens; resume on a callback
+        {.dst = receiver_.node().id(),
+         .dst_port = receiver_.id(),
+         .priority = cfg_.priority,
+         .callback =
+             [this, slot](bool success) {
+               slot_busy_[static_cast<std::size_t>(slot)] = false;
+               if (success) {
+                 ++sent_ok_;
+               } else {
+                 ++send_failures_;
+               }
+               pump_sends();
+             }});
+    if (st.code() == gm::Status::kRecovering) {
+      // FAULT_DETECTED replay in progress: no completion callback is due
+      // to wake us, so come back on a timer once the port reopens.
+      ++send_backoffs_;
+      arm_retry();
+      return;
+    }
+    if (!st) return;  // out of send tokens; resume on a callback
     slot_busy_[static_cast<std::size_t>(slot)] = true;
     ++next_msg_;
   }
+}
+
+void StreamWorkload::provide_recv(const gm::Buffer& buf) {
+  if (!receiver_.provide_receive_buffer(buf, cfg_.priority)) {
+    // Refused mid-recovery (or token-exhausted): park the buffer and
+    // re-provide when the retry timer fires, so no capacity is leaked.
+    recv_retry_.push_back(buf);
+    arm_retry();
+  }
+}
+
+void StreamWorkload::arm_retry() {
+  if (retry_armed_) return;
+  retry_armed_ = true;
+  sender_.node().event_queue().schedule_after(sim::msec(1), [this] {
+    retry_armed_ = false;
+    std::vector<gm::Buffer> parked;
+    parked.swap(recv_retry_);
+    for (const gm::Buffer& b : parked) provide_recv(b);
+    pump_sends();
+  });
 }
 
 void StreamWorkload::verify(const gm::RecvInfo& info) {

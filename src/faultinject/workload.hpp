@@ -34,6 +34,9 @@ class StreamWorkload {
   // ---- outcome counters ----
   [[nodiscard]] int sent_ok() const noexcept { return sent_ok_; }
   [[nodiscard]] int send_failures() const noexcept { return send_failures_; }
+  /// Posts refused with a retryable Status (kRecovering during
+  /// FAULT_DETECTED replay) and re-attempted on a timer.
+  [[nodiscard]] int send_backoffs() const noexcept { return send_backoffs_; }
   [[nodiscard]] int received() const noexcept { return received_; }
   [[nodiscard]] int corrupted() const noexcept { return corrupted_; }
   [[nodiscard]] int duplicates() const noexcept { return duplicates_; }
@@ -51,6 +54,8 @@ class StreamWorkload {
   void pump_sends();
   void fill(const gm::Buffer& buf, int msg);
   void verify(const gm::RecvInfo& info);
+  void provide_recv(const gm::Buffer& buf);
+  void arm_retry();
 
   gm::Port& sender_;
   gm::Port& receiver_;
@@ -61,10 +66,13 @@ class StreamWorkload {
   int next_msg_ = 0;
   int sent_ok_ = 0;
   int send_failures_ = 0;
+  int send_backoffs_ = 0;
   int received_ = 0;
   int corrupted_ = 0;
   int duplicates_ = 0;
   bool started_ = false;
+  bool retry_armed_ = false;
+  std::vector<gm::Buffer> recv_retry_;  // provides refused mid-recovery
 };
 
 }  // namespace myri::fi

@@ -76,12 +76,21 @@ bool Endpoint::send(net::NodeId dst, int handler_id,
   stats_.copy_cpu_ns += copy + cfg_.credit_overhead;
   node_.cpu().run(copy + cfg_.credit_overhead, [] {});
 
-  port_->send_with_callback(
-      slot, static_cast<std::uint32_t>(kHeaderBytes + data.size()), dst,
-      cfg_.gm_port, 0, [this, slot](bool) {
-        staging_.push_back(slot);
-        drain_queue();
-      });
+  const gm::Status st = port_->post(
+      slot, static_cast<std::uint32_t>(kHeaderBytes + data.size()),
+      {.dst = dst, .dst_port = cfg_.gm_port, .callback = [this, slot](bool) {
+         staging_.push_back(slot);
+         drain_queue();
+       }});
+  if (!st) {
+    // Token exhausted or port recovering: undo the credit/slot claim and
+    // let the caller queue the message for a later drain.
+    staging_.push_back(slot);
+    ++send_credits_[dst];
+    --stats_.sends;
+    ++stats_.credit_stalls;
+    return false;
+  }
   return true;
 }
 
@@ -154,11 +163,22 @@ void Endpoint::return_credits(net::NodeId to, int n) {
   bytes[0] = std::byte{kCreditMsg};
   bytes[1] = std::byte{static_cast<unsigned char>(n)};
   node_.cpu().run(cfg_.credit_overhead, [] {});
-  port_->send_with_callback(slot, 2, to, cfg_.gm_port, 0,
-                            [this, slot](bool) {
-                              staging_.push_back(slot);
-                              drain_queue();
-                            });
+  const gm::Status st =
+      port_->post(slot, 2,
+                  {.dst = to, .dst_port = cfg_.gm_port,
+                   .callback = [this, slot](bool) {
+                     staging_.push_back(slot);
+                     drain_queue();
+                   }});
+  if (!st) {
+    // Could not post the credit message (tokens busy / recovering): put
+    // the slot back and retry on the same no-slot backoff path.
+    --stats_.credit_returns;
+    staging_.push_back(slot);
+    node_.event_queue().schedule_after(sim::usec(5), [this, to, n] {
+      return_credits(to, n);
+    });
+  }
 }
 
 }  // namespace myri::fm

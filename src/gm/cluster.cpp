@@ -1,15 +1,21 @@
 #include "gm/cluster.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace myri::gm {
 
-Cluster::Cluster(const ClusterConfig& cfg) : rng_(cfg.seed) {
-  if (cfg.nodes < 1 || cfg.nodes > 8) {
-    throw std::invalid_argument("cluster supports 1..8 nodes per switch");
+Cluster::Cluster(const ClusterConfig& cfg) : rng_(cfg.seed), cfg_(cfg) {
+  if (cfg.nodes < 1) {
+    throw std::invalid_argument("cluster needs at least one node");
   }
   topo_ = std::make_unique<net::Topology>(eq_, rng_);
-  sw_ = topo_->add_switch(8, "sw0");
+
+  net::FabricConfig fc;
+  fc.preset = cfg.fabric;
+  fc.nodes = cfg.nodes;
+  fc.radix = cfg.switch_ports;
+  fabric_ = std::make_unique<net::FabricBuilder>(*topo_, fc);
 
   for (int i = 0; i < cfg.nodes; ++i) {
     Node::Config nc;
@@ -22,19 +28,25 @@ Cluster::Cluster(const ClusterConfig& cfg) : rng_(cfg.seed) {
     nc.ftgm_delayed_ack = cfg.ftgm_delayed_ack;
     nodes_.push_back(
         std::make_unique<Node>(eq_, nc, "node" + std::to_string(i)));
-    nodes_.back()->attach(*topo_, sw_, static_cast<std::uint8_t>(i));
+    const net::Placement& at = fabric_->placements()[i];
+    nodes_.back()->attach(*topo_, at.sw, at.port);
     nodes_.back()->bind_metrics(metrics_);
   }
   topo_->set_all_faults(cfg.faults);
   topo_->bind_metrics(metrics_);
 
   if (cfg.install_routes) {
-    // Node i sits on switch port i: the route a->b is the single byte [b].
+    // Pristine routes straight from the builder's graph (the mapper would
+    // compute the same ones on an undamaged fabric, minus the discovery).
     for (int a = 0; a < cfg.nodes; ++a) {
       for (int b = 0; b < cfg.nodes; ++b) {
         if (a == b) continue;
-        nodes_[a]->install_route(static_cast<net::NodeId>(b),
-                                 {static_cast<std::uint8_t>(b)});
+        auto r = fabric_->route(static_cast<net::NodeId>(a),
+                                static_cast<net::NodeId>(b));
+        if (r) {
+          nodes_[a]->install_route(static_cast<net::NodeId>(b),
+                                   std::move(*r));
+        }
       }
     }
   }

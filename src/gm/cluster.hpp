@@ -1,8 +1,10 @@
-// Convenience testbed: an N-node cluster on one Myrinet switch.
+// Convenience testbed: an N-node cluster on a preset multi-switch fabric.
 //
 // Mirrors the paper's experimental setup (two hosts on an M3M-SW8 switch)
-// and scales to 8 nodes per switch. Tests, benches and examples build on
-// this; multi-switch fabrics are assembled manually with net::Topology.
+// and scales well past one switch: the FabricBuilder assembles the preset
+// (single switch, line, ring, 2-level fat-tree) and computes endpoint
+// placement, so node count is no longer bounded by one switch's ports.
+// Tests, benches and examples build on this.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +13,7 @@
 
 #include "gm/node.hpp"
 #include "metrics/registry.hpp"
+#include "net/fabric.hpp"
 #include "net/topology.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
@@ -20,6 +23,10 @@ namespace myri::gm {
 
 struct ClusterConfig {
   int nodes = 2;
+  /// Fabric shape. Redundant presets (ring, fat-tree) are what the
+  /// mapper-driven failover path reroutes across when a cable dies.
+  net::FabricPreset fabric = net::FabricPreset::kSingleSwitch;
+  std::uint8_t switch_ports = 8;  // edge-switch radix
   mcp::McpMode mode = mcp::McpMode::kGm;
   host::TimingConfig timing{};
   std::size_t host_mem_bytes = 8u << 20;
@@ -30,6 +37,9 @@ struct ClusterConfig {
   bool ftgm_delayed_ack = true;  // ablation knob (see Mcp::Config)
   bool install_routes = true;    // direct route setup (skip the mapper)
   bool boot = true;
+  /// Event bound for run_until_idle(): long fat-tree runs raise it, short
+  /// unit tests shrink it, nobody patches a magic constant.
+  std::size_t max_events = 50'000'000;
 };
 
 class Cluster {
@@ -39,19 +49,23 @@ class Cluster {
   [[nodiscard]] sim::EventQueue& eq() noexcept { return eq_; }
   [[nodiscard]] sim::Rng& rng() noexcept { return rng_; }
   [[nodiscard]] net::Topology& topo() noexcept { return *topo_; }
+  /// The builder that laid the fabric out: placements, trunk cables
+  /// (failover targets), preset tier count.
+  [[nodiscard]] net::FabricBuilder& fabric() noexcept { return *fabric_; }
+  [[nodiscard]] const ClusterConfig& config() const noexcept { return cfg_; }
   /// Cluster-wide observability: every node, link and switch publishes
   /// its accounting here. Benches merge() per-repeat registries and/or
   /// export Registry::to_json() for machine-readable baselines.
   [[nodiscard]] metrics::Registry& metrics() noexcept { return metrics_; }
   [[nodiscard]] Node& node(int i) { return *nodes_.at(i); }
   [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
-  [[nodiscard]] std::uint16_t switch_id() const noexcept { return sw_; }
 
   /// Run the simulation for `d` of virtual time.
   void run_for(sim::Time d) { eq_.run_until(eq_.now() + d); }
-  /// Run until the event queue drains (bounded against runaway loops).
-  std::size_t run_until_idle(std::size_t max_events = 50'000'000) {
-    return eq_.run(max_events);
+  /// Run until the event queue drains, bounded against runaway loops by
+  /// ClusterConfig::max_events (or an explicit non-zero override).
+  std::size_t run_until_idle(std::size_t max_events = 0) {
+    return eq_.run(max_events != 0 ? max_events : cfg_.max_events);
   }
 
   void set_trace(sim::Trace* t);
@@ -59,9 +73,10 @@ class Cluster {
  private:
   sim::EventQueue eq_;
   sim::Rng rng_;
+  ClusterConfig cfg_;
   metrics::Registry metrics_;
   std::unique_ptr<net::Topology> topo_;
-  std::uint16_t sw_ = 0;
+  std::unique_ptr<net::FabricBuilder> fabric_;
   std::vector<std::unique_ptr<Node>> nodes_;
 };
 

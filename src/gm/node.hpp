@@ -64,6 +64,12 @@ class Node final : public mcp::HostIface {
     driver_.install_route(dst, std::move(route));
   }
 
+  /// True once a route to `dst` is known (installed directly or learnt
+  /// from the mapper). Port::post() refuses kUnreachable destinations.
+  [[nodiscard]] bool has_route(net::NodeId dst) const {
+    return driver_.route_mirror().count(dst) != 0;
+  }
+
   // ---- mcp::HostIface ----
   void post_event(std::uint8_t port, const mcp::EventRecord& ev) override;
   std::optional<host::DmaAddr> translate(std::uint8_t port,

@@ -53,34 +53,26 @@ Buffer Port::alloc_dma_buffer(std::uint32_t size) {
   return Buffer{*addr, size};
 }
 
-bool Port::send_with_callback(const Buffer& buf, std::uint32_t len,
-                              net::NodeId dst, std::uint8_t dst_port,
-                              std::uint8_t priority, SendCallback cb) {
+Status Port::post(const Buffer& buf, std::uint32_t len, SendOptions opts) {
   mcp::SendRequest req;
-  req.dst = dst;
-  req.dst_port = dst_port;
-  req.priority = priority;
-  return submit_send(buf, len, std::move(req), std::move(cb));
+  req.dst = opts.dst;
+  req.dst_port = opts.dst_port;
+  req.priority = opts.priority;
+  if (opts.remote_vaddr) {
+    req.directed = true;
+    req.target_vaddr = *opts.remote_vaddr;
+  }
+  return submit_send(buf, len, std::move(req), std::move(opts.callback));
 }
 
-bool Port::directed_send_with_callback(const Buffer& buf, std::uint32_t len,
-                                       net::NodeId dst, std::uint8_t dst_port,
-                                       std::uint32_t remote_vaddr,
-                                       SendCallback cb,
-                                       std::uint8_t priority) {
-  mcp::SendRequest req;
-  req.dst = dst;
-  req.dst_port = dst_port;
-  req.priority = priority;
-  req.directed = true;
-  req.target_vaddr = remote_vaddr;
-  return submit_send(buf, len, std::move(req), std::move(cb));
-}
-
-bool Port::submit_send(const Buffer& buf, std::uint32_t len,
-                       mcp::SendRequest req, SendCallback cb) {
-  if (!buf.valid() || len > buf.size) return false;
-  if (send_tokens_free_ == 0) return false;
+Status Port::submit_send(const Buffer& buf, std::uint32_t len,
+                         mcp::SendRequest req, SendCallback cb) {
+  if (!buf.valid() || len > buf.size || req.dst == net::kInvalidNode) {
+    return Status::kInvalidArg;
+  }
+  if (recovering_) return Status::kRecovering;
+  if (!node_.has_route(req.dst)) return Status::kUnreachable;
+  if (send_tokens_free_ == 0) return Status::kNoSendToken;
   --send_tokens_free_;
   ++stats_.sends_posted;
   stats_.bytes_sent += len;
@@ -121,13 +113,17 @@ bool Port::submit_send(const Buffer& buf, std::uint32_t len,
       n->nic().ring_doorbell();
     });
   });
-  return true;
+  return Status::kOk;
 }
 
-bool Port::get_with_callback(const Buffer& local, std::uint32_t len,
-                             net::NodeId dst, std::uint8_t dst_port,
-                             std::uint32_t remote_vaddr, SendCallback cb) {
-  if (!local.valid() || len > local.size) return false;
+Status Port::get_with_callback(const Buffer& local, std::uint32_t len,
+                               net::NodeId dst, std::uint8_t dst_port,
+                               std::uint32_t remote_vaddr, SendCallback cb) {
+  if (!local.valid() || len > local.size || dst == net::kInvalidNode) {
+    return Status::kInvalidArg;
+  }
+  if (recovering_) return Status::kRecovering;
+  if (!node_.has_route(dst)) return Status::kUnreachable;
   mcp::GetRequest g;
   g.port = id_;
   g.dst = dst;
@@ -138,7 +134,7 @@ bool Port::get_with_callback(const Buffer& local, std::uint32_t len,
   g.correlation = next_token_id_++;
   pending_gets_[g.correlation] = PendingGet{g, std::move(cb), 0};
   issue_get(g.correlation);
-  return true;
+  return Status::kOk;
 }
 
 void Port::issue_get(std::uint32_t correlation) {
@@ -169,9 +165,14 @@ void Port::issue_get(std::uint32_t correlation) {
       delay, guarded([this, correlation] { issue_get(correlation); }));
 }
 
-bool Port::provide_receive_buffer(const Buffer& buf, std::uint8_t priority) {
-  if (!buf.valid()) return false;
-  if (recv_tokens_free_ == 0) return false;
+Status Port::provide_receive_buffer(const Buffer& buf,
+                                    std::uint8_t priority) {
+  if (!buf.valid()) return Status::kInvalidArg;
+  // During FAULT_DETECTED replay the recv-token queue is rebuilt from the
+  // BackupStore; accepting a fresh token here would double-post it (once
+  // now, once from the backup copy the replay is about to install).
+  if (recovering_) return Status::kRecovering;
+  if (recv_tokens_free_ == 0) return Status::kNoRecvToken;
   --recv_tokens_free_;
   sync_token_gauges();
 
@@ -192,7 +193,7 @@ bool Port::provide_receive_buffer(const Buffer& buf, std::uint8_t priority) {
       n->nic().ring_doorbell();
     });
   });
-  return true;
+  return Status::kOk;
 }
 
 void Port::set_alarm(sim::Time delay, std::function<void()> handler) {

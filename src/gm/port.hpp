@@ -18,6 +18,7 @@
 #include <unordered_map>
 
 #include "core/backup_store.hpp"
+#include "gm/status.hpp"
 #include "mcp/types.hpp"
 #include "metrics/registry.hpp"
 #include "net/packet.hpp"
@@ -43,6 +44,23 @@ struct RecvInfo {
   std::uint8_t priority = 0;
 };
 
+/// Completion callback for sends/gets (ok == delivered & acknowledged).
+using SendCallback = std::function<void(bool ok)>;
+
+/// One parameter block for every send flavour (gm_send_with_callback,
+/// gm_directed_send_with_callback, fire-and-forget): designated
+/// initializers replace the old positional sprawl.
+///   port.post(buf, len, {.dst = 3, .dst_port = 2, .callback = cb});
+struct SendOptions {
+  net::NodeId dst = net::kInvalidNode;
+  std::uint8_t dst_port = 0;
+  std::uint8_t priority = 0;
+  /// Engaged => RDMA put into the remote process's registered memory at
+  /// this virtual address (the receiver consumes no token, sees no event).
+  std::optional<std::uint32_t> remote_vaddr{};
+  SendCallback callback{};
+};
+
 struct PortStats {
   std::uint64_t sends_posted = 0;
   std::uint64_t sends_completed = 0;
@@ -64,7 +82,7 @@ class Port {
     std::uint32_t send_tokens = 16;
     std::uint32_t recv_tokens = 16;
   };
-  using SendCallback = std::function<void(bool ok)>;
+  using SendCallback = gm::SendCallback;
   using RecvHandler = std::function<void(const RecvInfo&)>;
 
   Port(Node& node, std::uint8_t id, Config cfg);
@@ -77,39 +95,72 @@ class Port {
   /// Allocate a pinned DMA buffer and register its pages for this port.
   Buffer alloc_dma_buffer(std::uint32_t size);
 
-  /// gm_send_with_callback: relinquish a send token and queue the message.
-  /// Returns false if no send token is available (caller retries later).
-  bool send_with_callback(const Buffer& buf, std::uint32_t len,
-                          net::NodeId dst, std::uint8_t dst_port,
-                          std::uint8_t priority, SendCallback cb);
+  /// The one send entry point: relinquish a send token and queue `len`
+  /// bytes of `buf` per `opts` (plain message, or RDMA put when
+  /// opts.remote_vaddr is engaged). Returns:
+  ///   kOk          accepted; opts.callback fires on completion
+  ///   kInvalidArg  invalid buffer, len > buf.size, or invalid dst
+  ///   kRecovering  FAULT_DETECTED replay in progress — back off, retry
+  ///   kUnreachable no route installed for dst (mapper hasn't reached it)
+  ///   kNoSendToken all tokens in flight — retry on a completion callback
+  /// On any non-kOk result opts.callback never fires: check the Status.
+  [[nodiscard]] Status post(const Buffer& buf, std::uint32_t len,
+                            SendOptions opts);
 
-  /// Fire-and-forget variant (still consumes/returns a token internally).
-  bool send(const Buffer& buf, std::uint32_t len, net::NodeId dst,
-            std::uint8_t dst_port, std::uint8_t priority = 0) {
-    return send_with_callback(buf, len, dst, dst_port, priority, nullptr);
+  /// gm_send_with_callback (thin forwarder to post()).
+  Status send_with_callback(const Buffer& buf, std::uint32_t len,
+                            net::NodeId dst, std::uint8_t dst_port,
+                            std::uint8_t priority, SendCallback cb) {
+    return post(buf, len,
+                SendOptions{.dst = dst,
+                            .dst_port = dst_port,
+                            .priority = priority,
+                            .remote_vaddr = std::nullopt,
+                            .callback = std::move(cb)});
   }
 
-  /// gm_directed_send_with_callback (RDMA put): write `len` bytes into the
-  /// remote process's registered memory at `remote_vaddr`. Consumes a send
-  /// token; the receiver consumes no token and sees no event. The remote
-  /// port must have the target pages registered (its own DMA buffers are).
-  bool directed_send_with_callback(const Buffer& buf, std::uint32_t len,
-                                   net::NodeId dst, std::uint8_t dst_port,
-                                   std::uint32_t remote_vaddr,
-                                   SendCallback cb,
-                                   std::uint8_t priority = 0);
+  /// Fire-and-forget bool shim (still consumes/returns a token internally).
+  bool send(const Buffer& buf, std::uint32_t len, net::NodeId dst,
+            std::uint8_t dst_port, std::uint8_t priority = 0) {
+    return post(buf, len,
+                SendOptions{.dst = dst,
+                            .dst_port = dst_port,
+                            .priority = priority,
+                            .remote_vaddr = std::nullopt,
+                            .callback = nullptr})
+        .ok();
+  }
+
+  /// gm_directed_send_with_callback (RDMA put): thin forwarder to post()
+  /// with remote_vaddr engaged. The remote port must have the target pages
+  /// registered (its own DMA buffers are).
+  Status directed_send_with_callback(const Buffer& buf, std::uint32_t len,
+                                     net::NodeId dst, std::uint8_t dst_port,
+                                     std::uint32_t remote_vaddr,
+                                     SendCallback cb,
+                                     std::uint8_t priority = 0) {
+    return post(buf, len,
+                SendOptions{.dst = dst,
+                            .dst_port = dst_port,
+                            .priority = priority,
+                            .remote_vaddr = remote_vaddr,
+                            .callback = std::move(cb)});
+  }
 
   /// gm_get (RDMA read): fetch `len` bytes of the remote process's
   /// registered memory at `remote_vaddr` into `local` (which must be one
   /// of this port's registered buffers). The request is retried until the
   /// response lands (gets are idempotent); cb(false) after the retry
   /// budget is exhausted (unregistered remote memory, dead peer, ...).
-  bool get_with_callback(const Buffer& local, std::uint32_t len,
-                         net::NodeId dst, std::uint8_t dst_port,
-                         std::uint32_t remote_vaddr, SendCallback cb);
+  [[nodiscard]] Status get_with_callback(const Buffer& local,
+                                         std::uint32_t len, net::NodeId dst,
+                                         std::uint8_t dst_port,
+                                         std::uint32_t remote_vaddr,
+                                         SendCallback cb);
 
-  /// gm_provide_receive_buffer: relinquish a receive token.
-  bool provide_receive_buffer(const Buffer& buf, std::uint8_t priority = 0);
+  /// gm_provide_receive_buffer: relinquish a receive token. Returns kOk,
+  /// kInvalidArg, kRecovering or kNoRecvToken.
+  Status provide_receive_buffer(const Buffer& buf, std::uint8_t priority = 0);
 
   /// Handler invoked (from the event pump) for each received message.
   void set_receive_handler(RecvHandler h) { recv_handler_ = std::move(h); }
@@ -177,8 +228,8 @@ class Port {
 
   void sync_token_gauges();
 
-  bool submit_send(const Buffer& buf, std::uint32_t len,
-                   mcp::SendRequest req, SendCallback cb);
+  Status submit_send(const Buffer& buf, std::uint32_t len,
+                     mcp::SendRequest req, SendCallback cb);
   void pump();
   void dispatch(const mcp::EventRecord& ev);
   void unknown(const mcp::EventRecord& ev);      // gm_unknown()

@@ -1,0 +1,55 @@
+// gm::Status — typed result of the GM host API (send/receive posting).
+//
+// GM's C API reports "could not post" as a bare false, which forces callers
+// to guess whether they should retry now (token exhaustion), back off
+// (recovery in progress) or give up (bad arguments, unreachable peer).
+// Status keeps the single-word cost of bool but names the reason. It
+// converts contextually to bool (true == kOk), so `if (!port.post(...))`
+// call sites keep compiling; callers that want the reason switch on code().
+//
+// Not a [[nodiscard]] type: provide_receive_buffer() is habitually called
+// fire-and-forget; the posting entry points that MUST be checked (post,
+// get_with_callback — their callbacks never fire on rejection) carry
+// [[nodiscard]] individually.
+#pragma once
+
+#include <cstdint>
+
+namespace myri::gm {
+
+class Status {
+ public:
+  enum Code : std::uint8_t {
+    kOk = 0,          // accepted; completion reported via callback/event
+    kNoSendToken,     // all send tokens in flight — retry on a completion
+    kNoRecvToken,     // all receive tokens posted — retry on a receive
+    kRecovering,      // port is replaying FAULT_DETECTED recovery — back off
+    kInvalidArg,      // unusable buffer / length / destination
+    kUnreachable,     // no route installed for the destination node
+  };
+
+  constexpr Status() = default;
+  constexpr Status(Code c) : code_(c) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] constexpr bool ok() const noexcept { return code_ == kOk; }
+  constexpr explicit operator bool() const noexcept { return ok(); }
+  [[nodiscard]] constexpr Code code() const noexcept { return code_; }
+  friend constexpr bool operator==(Status, Status) = default;
+
+  [[nodiscard]] constexpr const char* message() const noexcept {
+    switch (code_) {
+      case kOk: return "ok";
+      case kNoSendToken: return "no send token";
+      case kNoRecvToken: return "no receive token";
+      case kRecovering: return "port recovering";
+      case kInvalidArg: return "invalid argument";
+      case kUnreachable: return "destination unreachable";
+    }
+    return "unknown";
+  }
+
+ private:
+  Code code_ = kOk;
+};
+
+}  // namespace myri::gm

@@ -1,0 +1,99 @@
+#include "mapper/failover.hpp"
+
+#include <vector>
+
+namespace myri::mapper {
+
+namespace {
+std::vector<std::uint64_t> route_len_bounds() {
+  // Routes are a handful of bytes (one per traversed switch): linear
+  // 1..16 buckets beat the registry's exponential time defaults.
+  std::vector<std::uint64_t> b;
+  for (std::uint64_t i = 1; i <= 16; ++i) b.push_back(i);
+  return b;
+}
+}  // namespace
+
+FailoverManager::FailoverManager(gm::Cluster& cluster, Config cfg)
+    : cluster_(cluster),
+      cfg_(cfg),
+      mapper_(cluster.node(cfg.home_node), cfg.mapper) {
+  metrics::Registry& reg = cluster_.metrics();
+  cable_events_ = &reg.counter("fabric.cable_events");
+  remaps_ok_ = &reg.counter("fabric.failover.remaps");
+  remaps_failed_ = &reg.counter("fabric.failover.failed_remaps");
+  remap_ns_ = &reg.histogram("fabric.failover.remap_ns");
+  route_len_ = &reg.histogram("fabric.route_len_hops", route_len_bounds());
+  cluster_.topo().set_cable_listener(
+      [this](net::Topology::CableId id, bool down) {
+        on_cable_event(id, down);
+      });
+}
+
+void FailoverManager::on_cable_event(net::Topology::CableId, bool) {
+  metrics::bump(cable_events_);
+  if (running_) {
+    // Routes computed from the pre-event map may already be stale when
+    // they land; queue exactly one follow-up remap.
+    rerun_ = true;
+    return;
+  }
+  if (!pending_) {
+    pending_ = true;
+    trigger_time_ = cluster_.eq().now();
+    cluster_.eq().schedule_after(cfg_.debounce, [this] {
+      pending_ = false;
+      start_remap();
+    });
+  }
+}
+
+void FailoverManager::remap_now(std::function<void(bool)> done) {
+  user_done_ = std::move(done);
+  if (running_) {
+    rerun_ = true;
+    return;
+  }
+  trigger_time_ = cluster_.eq().now();
+  start_remap();
+}
+
+void FailoverManager::start_remap() {
+  running_ = true;
+  mapper_.run([this](bool ok) { finish_remap(ok); });
+}
+
+void FailoverManager::finish_remap(bool ok) {
+  running_ = false;
+  metrics::observe(remap_ns_, cluster_.eq().now() - trigger_time_);
+  if (ok) {
+    ++remaps_;
+    metrics::bump(remaps_ok_);
+    record_route_lengths();
+  } else {
+    ++failed_;
+    metrics::bump(remaps_failed_);
+  }
+  if (rerun_) {
+    rerun_ = false;
+    trigger_time_ = cluster_.eq().now();
+    start_remap();
+    return;
+  }
+  if (user_done_) {
+    auto cb = std::move(user_done_);
+    user_done_ = nullptr;
+    cb(ok);
+  }
+}
+
+void FailoverManager::record_route_lengths() {
+  for (const net::NodeId a : mapper_.interfaces()) {
+    for (const auto& [b, route] : mapper_.routes_from_interface(a)) {
+      (void)b;
+      metrics::observe(route_len_, route.size());
+    }
+  }
+}
+
+}  // namespace myri::mapper

@@ -1,0 +1,78 @@
+// Mapper-driven link failover (paper Section 2, end to end).
+//
+// Watches the fabric for cable state changes and re-runs the GM mapper
+// from a home node whenever one fires: the fabric is re-discovered, fresh
+// route tables are distributed to every card, and in-flight GM traffic
+// resumes on the surviving paths without application changes (Go-Back-N
+// pushes the stalled window through the new routes). Failover latency and
+// post-remap route lengths are published through the cluster's
+// metrics::Registry:
+//   fabric.cable_events            cable up/down transitions seen
+//   fabric.failover.remaps         remaps completed ok
+//   fabric.failover.failed_remaps  remaps that found nothing
+//   fabric.failover.remap_ns       cable event -> routes distributed
+//   fabric.route_len_hops          route length per reachable pair
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "gm/cluster.hpp"
+#include "mapper/mapper.hpp"
+#include "metrics/registry.hpp"
+#include "sim/time.hpp"
+
+namespace myri::mapper {
+
+class FailoverManager {
+ public:
+  struct Config {
+    Mapper::Config mapper{};
+    /// Coalescing window: cable events arriving while a remap is pending
+    /// or running fold into one follow-up remap instead of stacking.
+    sim::Time debounce = sim::usec(100);
+    int home_node = 0;  // the node the mapper runs on
+  };
+
+  /// Registers itself as the topology's cable listener. Must outlive the
+  /// last cable event delivered to the cluster's topology.
+  FailoverManager(gm::Cluster& cluster, Config cfg);
+  explicit FailoverManager(gm::Cluster& cluster)
+      : FailoverManager(cluster, Config{}) {}
+
+  /// Force a remap now (initial bring-up on an unmapped fabric, or after
+  /// out-of-band changes). `done(ok)` fires when routes are distributed.
+  void remap_now(std::function<void(bool)> done = {});
+
+  [[nodiscard]] std::uint64_t remaps() const noexcept { return remaps_; }
+  [[nodiscard]] std::uint64_t failed_remaps() const noexcept {
+    return failed_;
+  }
+  [[nodiscard]] bool remap_in_progress() const noexcept { return running_; }
+  [[nodiscard]] const Mapper& mapper() const noexcept { return mapper_; }
+
+ private:
+  void on_cable_event(net::Topology::CableId id, bool down);
+  void start_remap();
+  void finish_remap(bool ok);
+  void record_route_lengths();
+
+  gm::Cluster& cluster_;
+  Config cfg_;
+  Mapper mapper_;
+  bool pending_ = false;  // debounce timer armed
+  bool running_ = false;  // mapper run in flight
+  bool rerun_ = false;    // events arrived mid-run: go again
+  sim::Time trigger_time_ = 0;
+  std::uint64_t remaps_ = 0;
+  std::uint64_t failed_ = 0;
+  std::function<void(bool)> user_done_;
+
+  metrics::Counter* cable_events_ = nullptr;
+  metrics::Counter* remaps_ok_ = nullptr;
+  metrics::Counter* remaps_failed_ = nullptr;
+  metrics::Histogram* remap_ns_ = nullptr;
+  metrics::Histogram* route_len_ = nullptr;
+};
+
+}  // namespace myri::mapper

@@ -169,6 +169,21 @@ std::map<std::uint32_t, std::vector<std::uint8_t>> Mapper::routes_from(
   return out;
 }
 
+std::map<net::NodeId, std::vector<std::uint8_t>>
+Mapper::routes_from_interface(net::NodeId a) const {
+  std::map<net::NodeId, std::vector<std::uint8_t>> out;
+  const auto routes = routes_from(vertex_key(net::DeviceKind::kInterface, a));
+  for (const auto& [key, route] : routes) {
+    const auto it = devices_.find(key);
+    if (it == devices_.end() ||
+        it->second.ref.kind != net::DeviceKind::kInterface) {
+      continue;
+    }
+    out.emplace(it->second.ref.id, route);
+  }
+  return out;
+}
+
 std::optional<std::vector<std::uint8_t>> Mapper::route_between(
     net::NodeId a, net::NodeId b) const {
   const auto routes = routes_from(vertex_key(net::DeviceKind::kInterface, a));

@@ -75,6 +75,10 @@ class Mapper {
   /// Source route from interface `a` to interface `b` (after run()).
   [[nodiscard]] std::optional<std::vector<std::uint8_t>> route_between(
       net::NodeId a, net::NodeId b) const;
+  /// All source routes out of interface `a` (one BFS; route-length
+  /// telemetry uses this instead of O(n^2) route_between calls).
+  [[nodiscard]] std::map<net::NodeId, std::vector<std::uint8_t>>
+  routes_from_interface(net::NodeId a) const;
   [[nodiscard]] const MapperStats& stats() const noexcept { return stats_; }
 
  private:

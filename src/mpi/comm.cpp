@@ -115,20 +115,22 @@ bool Rank::try_send_now(const QueuedSend& qs) {
   gm::Node& node = port_->node();
   if (!node.memory().write(buf.addr, qs.framed)) return false;
   SendDone done = qs.done;  // copy before the queue entry is destroyed
-  const bool ok = port_->send_with_callback(
+  const gm::Status st = port_->post(
       buf, static_cast<std::uint32_t>(qs.framed.size()),
-      comm_.nodes_[static_cast<std::size_t>(qs.dst)]->id(),
-      comm_.cfg_.gm_port, 0, [this, buf, done](bool success) {
-        send_pool_.push_back(buf);
-        if (!success && comm_.cfg_.abort_on_send_error) {
-          // MPI-over-GM semantics (paper Section 2): a GM send error is
-          // fatal; the distributed application grinds to a halt.
-          comm_.abort("fatal GM send error");
-        }
-        if (done) done(success);
-        pump_sends();
-      });
-  if (!ok) return false;  // out of GM send tokens: retry on a completion
+      {.dst = comm_.nodes_[static_cast<std::size_t>(qs.dst)]->id(),
+       .dst_port = comm_.cfg_.gm_port,
+       .callback = [this, buf, done](bool success) {
+         send_pool_.push_back(buf);
+         if (!success && comm_.cfg_.abort_on_send_error) {
+           // MPI-over-GM semantics (paper Section 2): a GM send error is
+           // fatal; the distributed application grinds to a halt.
+           comm_.abort("fatal GM send error");
+         }
+         if (done) done(success);
+         pump_sends();
+       }});
+  // Out of GM send tokens (or recovering): retry on the next completion.
+  if (!st) return false;
   send_pool_.pop_back();
   return true;
 }

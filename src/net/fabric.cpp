@@ -1,0 +1,205 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <string>
+
+namespace myri::net {
+
+const char* to_string(FabricPreset p) {
+  switch (p) {
+    case FabricPreset::kSingleSwitch: return "single";
+    case FabricPreset::kLine: return "line";
+    case FabricPreset::kRing: return "ring";
+    case FabricPreset::kFatTree: return "fat-tree";
+  }
+  return "?";
+}
+
+std::optional<FabricPreset> parse_fabric_preset(std::string_view s) {
+  if (s == "single") return FabricPreset::kSingleSwitch;
+  if (s == "line") return FabricPreset::kLine;
+  if (s == "ring") return FabricPreset::kRing;
+  if (s == "fat-tree" || s == "fattree") return FabricPreset::kFatTree;
+  return std::nullopt;
+}
+
+namespace {
+// Chains reserve the two highest ports for trunks; fat-trees split the
+// radix evenly between hosts (low ports) and uplinks (high ports).
+constexpr std::size_t kMaxSwitches = 4096;
+}  // namespace
+
+std::size_t FabricBuilder::capacity(const FabricConfig& cfg) {
+  switch (cfg.preset) {
+    case FabricPreset::kSingleSwitch:
+      return cfg.radix;
+    case FabricPreset::kLine:
+    case FabricPreset::kRing:
+      if (cfg.radix < 3) return 0;
+      return static_cast<std::size_t>(cfg.radix - 2) * kMaxSwitches;
+    case FabricPreset::kFatTree:
+      if (cfg.radix < 2) return 0;
+      // One spine port per leaf; leaves bounded by the spine port counter.
+      return static_cast<std::size_t>(cfg.radix / 2) * 255;
+  }
+  return 0;
+}
+
+FabricBuilder::FabricBuilder(Topology& topo, FabricConfig cfg)
+    : topo_(topo), cfg_(cfg) {
+  if (cfg_.nodes < 1) {
+    throw std::invalid_argument("fabric needs at least one node");
+  }
+  if (static_cast<std::size_t>(cfg_.nodes) > capacity(cfg_)) {
+    throw std::invalid_argument(
+        std::string("fabric preset ") + to_string(cfg_.preset) + " radix " +
+        std::to_string(cfg_.radix) + " cannot hold " +
+        std::to_string(cfg_.nodes) + " nodes");
+  }
+  switch (cfg_.preset) {
+    case FabricPreset::kSingleSwitch: build_single_switch(); break;
+    case FabricPreset::kLine: build_chain(false); break;
+    case FabricPreset::kRing: build_chain(true); break;
+    case FabricPreset::kFatTree: build_fat_tree(); break;
+  }
+  compute_tiers();
+}
+
+std::uint16_t FabricBuilder::add_switch(std::uint8_t ports,
+                                        std::string name) {
+  const std::uint16_t id = topo_.add_switch(ports, std::move(name));
+  sw_ids_.push_back(id);
+  adj_.emplace_back();
+  return static_cast<std::uint16_t>(sw_ids_.size() - 1);  // local index
+}
+
+void FabricBuilder::add_trunk(std::uint16_t a, std::uint8_t port_a,
+                              std::uint16_t b, std::uint8_t port_b) {
+  trunks_.push_back(
+      topo_.connect_switches(sw_ids_[a], port_a, sw_ids_[b], port_b));
+  adj_[a].push_back({b, port_a});
+  adj_[b].push_back({a, port_b});
+}
+
+void FabricBuilder::build_single_switch() {
+  const std::uint16_t s = add_switch(cfg_.radix, "sw0");
+  for (int i = 0; i < cfg_.nodes; ++i) {
+    placements_.push_back({sw_ids_[s], static_cast<std::uint8_t>(i)});
+    local_index_.push_back(s);
+  }
+}
+
+void FabricBuilder::build_chain(bool closed) {
+  const int hosts_per = cfg_.radix - 2;
+  const int num_sw = (cfg_.nodes + hosts_per - 1) / hosts_per;
+  const std::uint8_t next_port = static_cast<std::uint8_t>(cfg_.radix - 2);
+  const std::uint8_t prev_port = static_cast<std::uint8_t>(cfg_.radix - 1);
+  for (int k = 0; k < num_sw; ++k) {
+    add_switch(cfg_.radix, "sw" + std::to_string(k));
+  }
+  for (int k = 0; k + 1 < num_sw; ++k) {
+    add_trunk(static_cast<std::uint16_t>(k), next_port,
+              static_cast<std::uint16_t>(k + 1), prev_port);
+  }
+  if (closed && num_sw > 1) {
+    add_trunk(static_cast<std::uint16_t>(num_sw - 1), next_port, 0,
+              prev_port);
+  }
+  for (int i = 0; i < cfg_.nodes; ++i) {
+    const auto k = static_cast<std::uint16_t>(i / hosts_per);
+    placements_.push_back(
+        {sw_ids_[k], static_cast<std::uint8_t>(i % hosts_per)});
+    local_index_.push_back(k);
+  }
+}
+
+void FabricBuilder::build_fat_tree() {
+  const int hosts_per_leaf = cfg_.radix / 2;
+  const int uplinks = cfg_.radix / 2;
+  const int leaves = (cfg_.nodes + hosts_per_leaf - 1) / hosts_per_leaf;
+  // Leaves first (local 0..leaves-1), then spines. A spine carries one
+  // port per leaf; spine j's port L cables to leaf L's uplink j.
+  for (int l = 0; l < leaves; ++l) {
+    add_switch(cfg_.radix, "leaf" + std::to_string(l));
+  }
+  for (int j = 0; j < uplinks; ++j) {
+    add_switch(static_cast<std::uint8_t>(leaves),
+               "spine" + std::to_string(j));
+  }
+  for (int l = 0; l < leaves; ++l) {
+    for (int j = 0; j < uplinks; ++j) {
+      add_trunk(static_cast<std::uint16_t>(l),
+                static_cast<std::uint8_t>(hosts_per_leaf + j),
+                static_cast<std::uint16_t>(leaves + j),
+                static_cast<std::uint8_t>(l));
+    }
+  }
+  for (int i = 0; i < cfg_.nodes; ++i) {
+    const auto l = static_cast<std::uint16_t>(i / hosts_per_leaf);
+    placements_.push_back(
+        {sw_ids_[l], static_cast<std::uint8_t>(i % hosts_per_leaf)});
+    local_index_.push_back(l);
+  }
+}
+
+void FabricBuilder::compute_tiers() {
+  // Route length (bytes) == switches traversed == switch-graph path edges
+  // + 1; tiers_ is the worst case over switches that actually host nodes.
+  int worst = 1;
+  for (const std::uint16_t src : local_index_) {
+    std::vector<int> dist(adj_.size(), -1);
+    std::deque<std::uint16_t> q{src};
+    dist[src] = 0;
+    while (!q.empty()) {
+      const std::uint16_t u = q.front();
+      q.pop_front();
+      for (const Edge& e : adj_[u]) {
+        if (dist[e.to] >= 0) continue;
+        dist[e.to] = dist[u] + 1;
+        q.push_back(e.to);
+      }
+    }
+    for (const std::uint16_t dst : local_index_) {
+      if (dist[dst] >= 0) worst = std::max(worst, dist[dst] + 1);
+    }
+  }
+  tiers_ = worst;
+}
+
+std::optional<std::vector<std::uint8_t>> FabricBuilder::route(
+    NodeId a, NodeId b) const {
+  if (a == b) return std::nullopt;
+  if (a >= placements_.size() || b >= placements_.size()) {
+    return std::nullopt;
+  }
+  const std::uint16_t src = local_index_[a];
+  const std::uint16_t dst = local_index_[b];
+  struct Hop {
+    std::uint16_t parent;
+    std::uint8_t out_port;  // port taken at the parent
+  };
+  std::vector<std::optional<Hop>> prev(adj_.size());
+  std::deque<std::uint16_t> q{src};
+  prev[src] = Hop{src, 0};
+  while (!q.empty() && !prev[dst].has_value()) {
+    const std::uint16_t u = q.front();
+    q.pop_front();
+    for (const Edge& e : adj_[u]) {
+      if (prev[e.to].has_value()) continue;
+      prev[e.to] = Hop{u, e.out_port};
+      q.push_back(e.to);
+    }
+  }
+  if (!prev[dst].has_value()) return std::nullopt;
+  // Inter-switch bytes reconstructed backwards; the final byte is the
+  // destination's host port at its own switch.
+  std::vector<std::uint8_t> rev{placements_[b].port};
+  for (std::uint16_t cur = dst; cur != src; cur = prev[cur]->parent) {
+    rev.push_back(prev[cur]->out_port);
+  }
+  return std::vector<std::uint8_t>(rev.rbegin(), rev.rend());
+}
+
+}  // namespace myri::net

@@ -1,0 +1,105 @@
+// Fabric builder: preset multi-switch topologies with computed placement.
+//
+// Assembles switches and trunk cables in a Topology from a small recipe
+// (single switch, line, ring, 2-level fat-tree/Clos) and computes where
+// each endpoint plugs in, so a cluster is no longer bounded by one
+// switch's ports. The builder also keeps the as-built graph and can emit
+// pristine source routes for direct installation (tests/benches skipping
+// the mapper); live fabrics learn and re-learn routes from the mapper,
+// which is what routes around failed cables.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/topology.hpp"
+
+namespace myri::net {
+
+enum class FabricPreset : std::uint8_t {
+  kSingleSwitch,  // one switch, node i on port i (the seed testbed)
+  kLine,          // chain of switches, no redundancy
+  kRing,          // chain closed into a loop: one redundant path
+  kFatTree,       // 2-level Clos: leaf switches + radix/2 spines
+};
+
+[[nodiscard]] const char* to_string(FabricPreset p);
+[[nodiscard]] std::optional<FabricPreset> parse_fabric_preset(
+    std::string_view s);
+
+struct FabricConfig {
+  FabricPreset preset = FabricPreset::kSingleSwitch;
+  int nodes = 2;
+  /// Ports per edge switch (the Myrinet switch radix). Fat-tree spines are
+  /// wider: one port per leaf, mirroring a Clos built from a bigger
+  /// crossbar (or a quad of small ones) in the middle.
+  std::uint8_t radix = 8;
+};
+
+/// Where the builder plugged endpoint (node) `i` in.
+struct Placement {
+  std::uint16_t sw = 0;
+  std::uint8_t port = 0;
+};
+
+class FabricBuilder {
+ public:
+  /// Builds the preset into `topo` immediately (switches + trunk cables).
+  /// Throws std::invalid_argument if `cfg` is unsatisfiable (node count
+  /// over capacity, radix too small for the preset).
+  FabricBuilder(Topology& topo, FabricConfig cfg);
+
+  [[nodiscard]] const FabricConfig& config() const noexcept { return cfg_; }
+  /// Endpoint placements, indexed by node id (0..nodes-1).
+  [[nodiscard]] const std::vector<Placement>& placements() const noexcept {
+    return placements_;
+  }
+  /// Inter-switch cables, in creation order (failover targets).
+  [[nodiscard]] const std::vector<Topology::CableId>& trunk_cables()
+      const noexcept {
+    return trunks_;
+  }
+  [[nodiscard]] std::size_t num_switches() const noexcept {
+    return sw_ids_.size();
+  }
+  /// Max switches any pristine minimal route traverses (= max route bytes:
+  /// every traversed switch consumes one route byte). Fat-tree: 3.
+  [[nodiscard]] int tiers() const noexcept { return tiers_; }
+
+  /// Pristine shortest source route a -> b over the as-built graph (one
+  /// output-port byte per traversed switch). nullopt when a == b or out
+  /// of range. Ignores cable state: use the mapper on a degraded fabric.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> route(
+      NodeId a, NodeId b) const;
+
+  /// Max endpoints the preset supports (0 = unsatisfiable config).
+  [[nodiscard]] static std::size_t capacity(const FabricConfig& cfg);
+
+ private:
+  struct Edge {
+    std::uint16_t to;       // local switch index
+    std::uint8_t out_port;  // port taken at the source switch
+  };
+
+  void build_single_switch();
+  void build_chain(bool closed);
+  void build_fat_tree();
+  std::uint16_t add_switch(std::uint8_t ports, std::string name);
+  void add_trunk(std::uint16_t a, std::uint8_t port_a, std::uint16_t b,
+                 std::uint8_t port_b);
+  void compute_tiers();
+
+  Topology& topo_;
+  FabricConfig cfg_;
+  std::vector<Placement> placements_;
+  std::vector<Topology::CableId> trunks_;
+  std::vector<std::uint16_t> sw_ids_;       // local index -> topology id
+  std::vector<std::vector<Edge>> adj_;      // by local switch index
+  std::vector<std::uint16_t> local_index_;  // by node id: placement switch
+  int tiers_ = 1;
+};
+
+}  // namespace myri::net

@@ -44,8 +44,10 @@ Topology::CableId Topology::connect_switches(std::uint16_t a,
 
 void Topology::set_cable_down(CableId cable, bool down) {
   auto [ab, ba] = cables_.at(cable);
+  const bool was_down = ab->is_down();
   ab->set_down(down);
   ba->set_down(down);
+  if (down != was_down && cable_listener_) cable_listener_(cable, down);
 }
 
 Link& Topology::attach_endpoint(PacketSink& sink, std::uint16_t sw,

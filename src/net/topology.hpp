@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -35,6 +36,19 @@ class Topology {
   /// The mapper's next run routes around it (paper Section 2: the GM
   /// mapper reconfigures when links or nodes appear or disappear).
   void set_cable_down(CableId cable, bool down);
+
+  /// Observer for cable state changes. mapper::FailoverManager registers
+  /// here to trigger a remap whenever a cable dies or heals; only state
+  /// transitions are reported. One listener at a time (last wins).
+  using CableListener = std::function<void(CableId, bool down)>;
+  void set_cable_listener(CableListener l) { cable_listener_ = std::move(l); }
+
+  [[nodiscard]] std::size_t num_cables() const noexcept {
+    return cables_.size();
+  }
+  [[nodiscard]] bool cable_is_down(CableId cable) const {
+    return cables_.at(cable).first->is_down();
+  }
 
   /// Cable between an endpoint and a switch port. Returns the Link the
   /// endpoint transmits on (endpoint -> switch); arriving packets are
@@ -67,6 +81,7 @@ class Topology {
   std::vector<std::unique_ptr<Switch>> switches_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<std::pair<Link*, Link*>> cables_;  // switch-to-switch pairs
+  CableListener cable_listener_;
   sim::Trace* trace_ = nullptr;
   metrics::Registry* metrics_ = nullptr;
 };

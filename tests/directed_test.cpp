@@ -42,9 +42,12 @@ TEST(DirectedSend, PutLandsInRemoteMemory) {
   for (int i = 0; i < 256; ++i) bytes[i] = static_cast<std::byte>(i);
 
   bool done = false;
-  w.tx->directed_send_with_callback(
-      src, 256, 1, 3, static_cast<std::uint32_t>(w.region.addr + 512),
-      [&](bool ok) { done = ok; });
+  ASSERT_TRUE(w.tx->post(
+      src, 256,
+      {.dst = 1,
+       .dst_port = 3,
+       .remote_vaddr = static_cast<std::uint32_t>(w.region.addr + 512),
+       .callback = [&](bool ok) { done = ok; }}).ok());
   w.cluster.run_for(sim::msec(3));
   EXPECT_TRUE(done);
   auto remote = w.cluster.node(1).memory().at(w.region.addr + 512, 256);
@@ -61,9 +64,12 @@ TEST(DirectedSend, ConsumesNoReceiveTokenAndPostsNoEvent) {
   const auto tokens_before = w.rx->recv_tokens_free();
   gm::Buffer src = w.tx->alloc_dma_buffer(64);
   bool done = false;
-  w.tx->directed_send_with_callback(
-      src, 64, 1, 3, static_cast<std::uint32_t>(w.region.addr),
-      [&](bool ok) { done = ok; });
+  ASSERT_TRUE(w.tx->post(
+      src, 64,
+      {.dst = 1,
+       .dst_port = 3,
+       .remote_vaddr = static_cast<std::uint32_t>(w.region.addr),
+       .callback = [&](bool ok) { done = ok; }}).ok());
   w.cluster.run_for(sim::msec(3));
   EXPECT_TRUE(done);
   EXPECT_EQ(events, 0);
@@ -80,9 +86,12 @@ TEST(DirectedSend, MultiFragmentPut) {
     bytes[i] = static_cast<std::byte>(i * 7);
   }
   bool done = false;
-  w.tx->directed_send_with_callback(
-      src, len, 1, 3, static_cast<std::uint32_t>(w.region.addr),
-      [&](bool ok) { done = ok; });
+  ASSERT_TRUE(w.tx->post(
+      src, len,
+      {.dst = 1,
+       .dst_port = 3,
+       .remote_vaddr = static_cast<std::uint32_t>(w.region.addr),
+       .callback = [&](bool ok) { done = ok; }}).ok());
   w.cluster.run_for(sim::msec(5));
   ASSERT_TRUE(done);
   auto remote = w.cluster.node(1).memory().at(w.region.addr, len);
@@ -96,9 +105,13 @@ TEST(DirectedSend, UnregisteredTargetIsRefused) {
   PutWorld w(mcp::McpMode::kGm);
   gm::Buffer src = w.tx->alloc_dma_buffer(64);
   bool fired = false;
-  // Target inside host memory but never registered for port 3.
-  w.tx->directed_send_with_callback(src, 64, 1, 3, 0x2000,
-                                    [&](bool) { fired = true; });
+  // Target inside host memory but never registered for port 3. The post
+  // itself is accepted (the refusal happens at the remote MCP).
+  ASSERT_TRUE(w.tx->post(src, 64,
+                         {.dst = 1,
+                          .dst_port = 3,
+                          .remote_vaddr = 0x2000,
+                          .callback = [&](bool) { fired = true; }}).ok());
   w.cluster.run_for(sim::msec(5));
   EXPECT_FALSE(fired);  // never accepted, never ACKed
   EXPECT_GT(w.cluster.node(1).mcp().stats().unmapped_dma_refusals, 0u);
@@ -112,9 +125,12 @@ TEST(DirectedSend, InterleavesInOrderWithRegularMessages) {
   w.rx->set_receive_handler(
       [&](const gm::RecvInfo&) { order.push_back("msg"); });
   gm::Buffer src = w.tx->alloc_dma_buffer(64);
-  w.tx->directed_send_with_callback(
-      src, 64, 1, 3, static_cast<std::uint32_t>(w.region.addr),
-      [&](bool) { order.push_back("put"); });
+  ASSERT_TRUE(w.tx->post(
+      src, 64,
+      {.dst = 1,
+       .dst_port = 3,
+       .remote_vaddr = static_cast<std::uint32_t>(w.region.addr),
+       .callback = [&](bool) { order.push_back("put"); }}).ok());
   w.tx->send(src, 64, 1, 3);
   w.cluster.run_for(sim::msec(5));
   // Same stream: the put completed before the message was delivered.
@@ -132,9 +148,12 @@ TEST(DirectedSend, ReplaysIdempotentlyAcrossRecovery) {
     bytes[i] = static_cast<std::byte>(i ^ 0x5a);
   }
   bool done = false;
-  w.tx->directed_send_with_callback(
-      src, len, 1, 3, static_cast<std::uint32_t>(w.region.addr),
-      [&](bool ok) { done = ok; });
+  ASSERT_TRUE(w.tx->post(
+      src, len,
+      {.dst = 1,
+       .dst_port = 3,
+       .remote_vaddr = static_cast<std::uint32_t>(w.region.addr),
+       .callback = [&](bool ok) { done = ok; }}).ok());
   // Hang the receiver mid-put; recovery replays the put (idempotent).
   w.cluster.eq().schedule_after(sim::usec(15), [&] {
     w.cluster.node(1).mcp().inject_hang("mid-put");

@@ -1,0 +1,193 @@
+// FabricBuilder presets: capacity math, placement, route discovery and
+// multi-switch clusters (the paper's testbed scaled past one M3M-SW8).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "faultinject/workload.hpp"
+#include "gm/cluster.hpp"
+#include "mapper/mapper.hpp"
+#include "net/fabric.hpp"
+
+namespace myri {
+namespace {
+
+using gm::Cluster;
+using gm::ClusterConfig;
+using net::FabricBuilder;
+using net::FabricConfig;
+using net::FabricPreset;
+
+FabricConfig make(FabricPreset p, int nodes, std::uint8_t radix = 8) {
+  FabricConfig fc;
+  fc.preset = p;
+  fc.nodes = nodes;
+  fc.radix = radix;
+  return fc;
+}
+
+TEST(Fabric, PresetNamesRoundTrip) {
+  for (const auto p : {FabricPreset::kSingleSwitch, FabricPreset::kLine,
+                       FabricPreset::kRing, FabricPreset::kFatTree}) {
+    const auto back = net::parse_fabric_preset(net::to_string(p));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, p);
+  }
+  EXPECT_FALSE(net::parse_fabric_preset("torus").has_value());
+  // The common unhyphenated spelling is accepted too.
+  EXPECT_EQ(net::parse_fabric_preset("fattree"), FabricPreset::kFatTree);
+}
+
+TEST(Fabric, CapacityPerPreset) {
+  EXPECT_EQ(FabricBuilder::capacity(make(FabricPreset::kSingleSwitch, 1, 8)),
+            8u);
+  EXPECT_EQ(FabricBuilder::capacity(make(FabricPreset::kLine, 1, 2)), 0u);
+  EXPECT_EQ(FabricBuilder::capacity(make(FabricPreset::kFatTree, 1, 8)),
+            4u * 255u);
+  // Over-capacity configs are rejected at build time.
+  sim::EventQueue eq;
+  sim::Rng rng(1);
+  net::Topology topo(eq, rng);
+  EXPECT_THROW(FabricBuilder(topo, make(FabricPreset::kSingleSwitch, 9, 8)),
+               std::invalid_argument);
+}
+
+TEST(Fabric, SingleSwitchPlacementMatchesSeedTestbed) {
+  sim::EventQueue eq;
+  sim::Rng rng(1);
+  net::Topology topo(eq, rng);
+  FabricBuilder fb(topo, make(FabricPreset::kSingleSwitch, 4));
+  EXPECT_EQ(fb.num_switches(), 1u);
+  EXPECT_EQ(fb.tiers(), 1);
+  EXPECT_TRUE(fb.trunk_cables().empty());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(fb.placements()[i].port, i);
+  }
+  // One route byte: the destination's host port.
+  auto r = fb.route(0, 3);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(*r, std::vector<std::uint8_t>{3});
+}
+
+TEST(Fabric, FatTreeShape64Nodes) {
+  sim::EventQueue eq;
+  sim::Rng rng(1);
+  net::Topology topo(eq, rng);
+  FabricBuilder fb(topo, make(FabricPreset::kFatTree, 64, 8));
+  // 16 leaves of 4 hosts each + 4 spines; every leaf trunks to every spine.
+  EXPECT_EQ(fb.num_switches(), 20u);
+  EXPECT_EQ(fb.trunk_cables().size(), 16u * 4u);
+  EXPECT_EQ(fb.tiers(), 3);
+  EXPECT_EQ(fb.placements().size(), 64u);
+}
+
+TEST(Fabric, FatTreeEveryPairReachableAtTierLength) {
+  sim::EventQueue eq;
+  sim::Rng rng(1);
+  net::Topology topo(eq, rng);
+  FabricBuilder fb(topo, make(FabricPreset::kFatTree, 64, 8));
+  const int hosts_per_leaf = 4;
+  for (int a = 0; a < 64; ++a) {
+    for (int b = 0; b < 64; ++b) {
+      if (a == b) continue;
+      auto r = fb.route(static_cast<net::NodeId>(a),
+                        static_cast<net::NodeId>(b));
+      ASSERT_TRUE(r) << a << "->" << b;
+      // Same leaf: one byte (host port). Cross leaf: leaf-spine-leaf, so
+      // exactly tiers() bytes — one per traversed switch.
+      const bool same_leaf = a / hosts_per_leaf == b / hosts_per_leaf;
+      EXPECT_EQ(r->size(), same_leaf ? 1u : 3u) << a << "->" << b;
+      EXPECT_LE(r->size(), static_cast<std::size_t>(fb.tiers()));
+      EXPECT_EQ(r->back(), b % hosts_per_leaf);
+    }
+  }
+}
+
+TEST(Fabric, RingRoutesWrapTheShortWay) {
+  sim::EventQueue eq;
+  sim::Rng rng(1);
+  net::Topology topo(eq, rng);
+  // 12 nodes, radix 4 => 2 hosts/switch, 6 switches in a loop.
+  FabricBuilder fb(topo, make(FabricPreset::kRing, 12, 4));
+  EXPECT_EQ(fb.num_switches(), 6u);
+  EXPECT_EQ(fb.trunk_cables().size(), 6u);
+  // Worst case: opposite side of the loop, 3 trunk hops + the host switch.
+  EXPECT_EQ(fb.tiers(), 4);
+  auto near = fb.route(0, 2);  // adjacent switches
+  ASSERT_TRUE(near);
+  EXPECT_EQ(near->size(), 2u);
+  auto far = fb.route(0, 6);  // opposite side
+  ASSERT_TRUE(far);
+  EXPECT_EQ(far->size(), 4u);
+  // Wrapping backwards (sw0 -> sw5) must not walk the long way round.
+  auto wrap = fb.route(0, 10);
+  ASSERT_TRUE(wrap);
+  EXPECT_EQ(wrap->size(), 2u);
+}
+
+TEST(Fabric, LineHasNoWrapAround) {
+  sim::EventQueue eq;
+  sim::Rng rng(1);
+  net::Topology topo(eq, rng);
+  FabricBuilder fb(topo, make(FabricPreset::kLine, 12, 4));
+  EXPECT_EQ(fb.trunk_cables().size(), 5u);  // 6 switches, open chain
+  auto end_to_end = fb.route(0, 10);
+  ASSERT_TRUE(end_to_end);
+  EXPECT_EQ(end_to_end->size(), 6u);  // all six switches traversed
+}
+
+TEST(Fabric, ClusterTrafficCrossesTheFatTree) {
+  ClusterConfig cc;
+  cc.nodes = 16;
+  cc.fabric = FabricPreset::kFatTree;
+  Cluster cluster(cc);
+  ASSERT_EQ(cluster.fabric().num_switches(), 8u);  // 4 leaves + 4 spines
+
+  // Stream between nodes on different leaves: traffic must cross a spine.
+  auto& tx = cluster.node(0).open_port(2);
+  auto& rx = cluster.node(15).open_port(3);
+  fi::StreamWorkload::Config wc;
+  wc.total_msgs = 20;
+  wc.msg_len = 1024;
+  fi::StreamWorkload wl(tx, rx, wc);
+  cluster.run_for(sim::usec(900));
+  wl.start();
+  cluster.run_for(sim::msec(50));
+  EXPECT_TRUE(wl.complete());
+  EXPECT_EQ(wl.duplicates(), 0);
+}
+
+TEST(Fabric, MapperDiscoversTheBuiltFatTree) {
+  ClusterConfig cc;
+  cc.nodes = 16;
+  cc.fabric = FabricPreset::kFatTree;
+  cc.install_routes = false;  // the mapper is the only source of routes
+  Cluster cluster(cc);
+  mapper::Mapper m(cluster.node(0));
+  bool ok = false;
+  m.run([&](bool r) { ok = r; });
+  cluster.run_until_idle();
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(m.num_switches(), cluster.fabric().num_switches());
+  EXPECT_EQ(m.interfaces().size(), 16u);
+  for (net::NodeId b = 1; b < 16; ++b) {
+    auto r = m.route_between(0, b);
+    ASSERT_TRUE(r) << "0->" << int(b);
+    EXPECT_LE(r->size(),
+              static_cast<std::size_t>(cluster.fabric().tiers()));
+  }
+}
+
+TEST(Fabric, RunUntilIdleHonoursConfiguredEventBound) {
+  ClusterConfig cc;
+  cc.nodes = 2;
+  cc.max_events = 500;  // L_timer housekeeping alone would run forever
+  Cluster cluster(cc);
+  EXPECT_EQ(cluster.run_until_idle(), 500u);
+  // An explicit override beats the config without mutating it.
+  EXPECT_EQ(cluster.run_until_idle(100), 100u);
+  EXPECT_EQ(cluster.config().max_events, 500u);
+}
+
+}  // namespace
+}  // namespace myri

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include "faultinject/workload.hpp"
+#include "gm/cluster.hpp"
 #include "gm/node.hpp"
+#include "mapper/failover.hpp"
 #include "mapper/mapper.hpp"
 #include "net/topology.hpp"
 
@@ -137,6 +139,93 @@ TEST(Failover, TrafficResumesAfterRemap) {
   t.eq.run_until(t.eq.now() + sim::msec(300));
   EXPECT_TRUE(second.complete());
   EXPECT_EQ(second.duplicates(), 0);
+}
+
+// ---- FailoverManager: the automated cable-event -> remap -> reroute path
+// on a multi-switch fabric (the PR's acceptance scenario). ----
+
+gm::ClusterConfig fat_tree16() {
+  gm::ClusterConfig cc;
+  cc.nodes = 16;
+  cc.fabric = net::FabricPreset::kFatTree;
+  return cc;
+}
+
+TEST(FailoverManager, CableKillUnderLoadRemapsAndAllStreamsComplete) {
+  gm::Cluster cluster(fat_tree16());
+  mapper::FailoverManager fm(cluster);
+
+  // Three concurrent streams; 0->15 crosses leaf0-spine0 (the BFS-first
+  // uplink), the others exercise unrelated leaf pairs.
+  fi::StreamWorkload::Config wc;
+  wc.total_msgs = 40;
+  wc.msg_len = 1024;
+  fi::StreamWorkload s0(cluster.node(0).open_port(2),
+                        cluster.node(15).open_port(3), wc);
+  fi::StreamWorkload s1(cluster.node(5).open_port(2),
+                        cluster.node(10).open_port(3), wc);
+  fi::StreamWorkload s2(cluster.node(12).open_port(2),
+                        cluster.node(3).open_port(3), wc);
+  cluster.run_for(sim::usec(900));
+  s0.start();
+  s1.start();
+  s2.start();
+  cluster.run_for(sim::usec(300));  // some traffic in flight
+
+  // Kill the leaf0<->spine0 trunk mid-stream. The listener fires, the
+  // debounced remap re-discovers the fabric and distributes detours; the
+  // stalled Go-Back-N windows push through the surviving spines.
+  cluster.topo().set_cable_down(cluster.fabric().trunk_cables()[0], true);
+  cluster.run_for(sim::msec(600));
+
+  EXPECT_GE(fm.remaps(), 1u);
+  EXPECT_EQ(fm.failed_remaps(), 0u);
+  EXPECT_TRUE(s0.complete());
+  EXPECT_TRUE(s1.complete());
+  EXPECT_TRUE(s2.complete());
+  EXPECT_EQ(s0.duplicates() + s1.duplicates() + s2.duplicates(), 0);
+
+  // Failover latency (cable event -> routes distributed) and post-remap
+  // route lengths landed in the cluster registry.
+  metrics::Registry& reg = cluster.metrics();
+  EXPECT_EQ(reg.counter("fabric.cable_events").value(), 1u);
+  EXPECT_GE(reg.counter("fabric.failover.remaps").value(), 1u);
+  EXPECT_GE(reg.histogram("fabric.failover.remap_ns").count(), 1u);
+  // 16 interfaces, routes recorded for each ordered reachable pair.
+  EXPECT_GE(reg.histogram("fabric.route_len_hops").count(), 16u * 15u);
+  // A 2-level Clos never needs more than 3 route bytes, dead trunk or not.
+  EXPECT_LE(reg.histogram("fabric.route_len_hops").max(), 3u);
+}
+
+TEST(FailoverManager, CoalescesBackToBackCableEvents) {
+  gm::Cluster cluster(fat_tree16());
+  mapper::FailoverManager fm(cluster);
+  // Two cable transitions inside one debounce window: one remap, not two.
+  cluster.topo().set_cable_down(cluster.fabric().trunk_cables()[0], true);
+  cluster.topo().set_cable_down(cluster.fabric().trunk_cables()[5], true);
+  cluster.run_for(sim::msec(400));
+  EXPECT_EQ(cluster.metrics().counter("fabric.cable_events").value(), 2u);
+  EXPECT_EQ(fm.remaps(), 1u);
+  EXPECT_FALSE(fm.remap_in_progress());
+}
+
+TEST(FailoverManager, RemapNowBringsUpAnUnmappedFabric) {
+  gm::ClusterConfig cc = fat_tree16();
+  cc.install_routes = false;  // cold fabric: only the mapper can route it
+  gm::Cluster cluster(cc);
+  auto& tx = cluster.node(1).open_port(2);
+  cluster.run_for(sim::usec(900));
+  gm::Buffer b = tx.alloc_dma_buffer(64);
+  ASSERT_EQ(tx.post(b, 64, {.dst = 14, .dst_port = 3}).code(),
+            gm::Status::kUnreachable);
+
+  mapper::FailoverManager fm(cluster);
+  bool ok = false;
+  fm.remap_now([&](bool r) { ok = r; });
+  cluster.run_for(sim::msec(400));
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(fm.mapper().interfaces().size(), 16u);
+  EXPECT_TRUE(tx.post(b, 64, {.dst = 14, .dst_port = 3}).ok());
 }
 
 TEST(Failover, NodeDisappearsFromTheMapWhenItsCableDies) {

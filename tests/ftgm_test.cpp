@@ -324,8 +324,9 @@ TEST(Recovery, SendsPostedDuringOutageCompleteAfterRecovery) {
   int completed = 0;
   for (int i = 0; i < 4; ++i) {
     gm::Buffer b = tx.alloc_dma_buffer(64);
-    EXPECT_TRUE(tx.send_with_callback(b, 64, 1, 3, 0,
-                                      [&](bool ok) { completed += ok; }));
+    EXPECT_TRUE(
+        tx.post(b, 64, {.dst = 1, .dst_port = 3,
+                        .callback = [&](bool ok) { completed += ok; }}).ok());
   }
   cluster.run_for(sim::sec(3));
   EXPECT_EQ(completed, 4);
@@ -404,7 +405,8 @@ TEST(Figure4, NaiveGmReloadDeliversDuplicate) {
   gm::Buffer b = tx.alloc_dma_buffer(64);
   int completed = 0;
   for (int i = 0; i < 20; ++i) {
-    tx.send_with_callback(b, 64, 1, 3, 0, [&](bool) { ++completed; });
+    ASSERT_TRUE(tx.post(b, 64, {.dst = 1, .dst_port = 3,
+                                .callback = [&](bool) { ++completed; }}).ok());
     cluster.run_for(sim::msec(1));
   }
   ASSERT_EQ(received, 20);
@@ -412,7 +414,7 @@ TEST(Figure4, NaiveGmReloadDeliversDuplicate) {
 
   // Send message 21 and crash the sender NIC the moment the receiver has
   // ACKed it (the ACK is "in transit": the sender never processes it).
-  tx.send_with_callback(b, 64, 1, 3, 0, [](bool) {});
+  ASSERT_TRUE(tx.post(b, 64, {.dst = 1, .dst_port = 3}).ok());
   const auto acked = [&] {
     return cluster.node(1).mcp().stats().acks_tx >= 21;
   };
@@ -432,7 +434,7 @@ TEST(Figure4, NaiveGmReloadDeliversDuplicate) {
   cluster.run_for(sim::usec(600));
 
   // The application never saw a completion for message 21, so it retries.
-  tx.send_with_callback(b, 64, 1, 3, 0, [](bool) {});
+  ASSERT_TRUE(tx.post(b, 64, {.dst = 1, .dst_port = 3}).ok());
   cluster.run_for(sim::msec(10));
 
   // The receiver accepted the retry as a NEW message: a duplicate.
@@ -465,9 +467,10 @@ TEST(Figure4, FtgmRecoveryDeliversExactlyOnce) {
   ASSERT_EQ(received, 20);
 
   int late_completed = 0;
-  tx.send_with_callback(b, 64, 1, 3, 0, [&](bool ok) {
-    late_completed += ok;
-  });
+  ASSERT_TRUE(
+      tx.post(b, 64, {.dst = 1, .dst_port = 3,
+                      .callback = [&](bool ok) { late_completed += ok; }})
+          .ok());
   while (cluster.node(1).mcp().stats().acks_tx < 21 && cluster.eq().step()) {
   }
   cluster.node(0).mcp().inject_hang("crash with ACK in transit");
@@ -494,7 +497,9 @@ TEST(Figure5, GmEarlyAckLosesMessageOnReceiverCrash) {
 
   bool send_ok = false;
   gm::Buffer b = tx.alloc_dma_buffer(64);
-  tx.send_with_callback(b, 64, 1, 3, 0, [&](bool ok) { send_ok = ok; });
+  ASSERT_TRUE(tx.post(b, 64, {.dst = 1, .dst_port = 3,
+                              .callback = [&](bool ok) { send_ok = ok; }})
+                  .ok());
 
   // Step until the receiver's MCP has sent the ACK, then hang it before
   // the RECV event is posted to the host.
@@ -522,7 +527,9 @@ TEST(Figure5, FtgmDelayedAckPreventsLoss) {
 
   bool send_ok = false;
   gm::Buffer b = tx.alloc_dma_buffer(64);
-  tx.send_with_callback(b, 64, 1, 3, 0, [&](bool ok) { send_ok = ok; });
+  ASSERT_TRUE(tx.post(b, 64, {.dst = 1, .dst_port = 3,
+                              .callback = [&](bool ok) { send_ok = ok; }})
+                  .ok());
 
   // In FTGM no ACK may exist before the event post; crash right before
   // the ACK would go out.

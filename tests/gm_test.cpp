@@ -100,9 +100,10 @@ TEST(GmPort, CallbacksFireInCompletionOrder) {
   std::vector<int> order;
   for (int i = 0; i < 6; ++i) {
     Buffer b = tx.alloc_dma_buffer(64);
-    tx.send_with_callback(b, 64, 1, 3, 0, [&order, i](bool) {
-      order.push_back(i);
-    });
+    ASSERT_TRUE(tx.post(b, 64, {.dst = 1, .dst_port = 3,
+                                .callback = [&order, i](bool) {
+                                  order.push_back(i);
+                                }}).ok());
   }
   cluster.run_for(sim::msec(5));
   ASSERT_EQ(order.size(), 6u);
@@ -222,7 +223,8 @@ TEST(GmPort, ClosePortStopsDelivery) {
   cluster.run_for(sim::usec(900));  // let the close command land
   Buffer b = tx.alloc_dma_buffer(64);
   bool fired = false;
-  tx.send_with_callback(b, 64, 1, 3, 0, [&](bool) { fired = true; });
+  ASSERT_TRUE(tx.post(b, 64, {.dst = 1, .dst_port = 3,
+                              .callback = [&](bool) { fired = true; }}).ok());
   cluster.run_for(sim::msec(3));
   EXPECT_FALSE(fired);  // receiver port closed: packets dropped, no ACK
 }

@@ -154,11 +154,14 @@ TEST(Integration, TwoLocalPortsReceivingOneStreamMergeAckState) {
   int completed = 0;
   std::function<void(int)> send_next = [&](int i) {
     if (i >= 30) return;
-    tx.send_with_callback(b, 64, 1, static_cast<std::uint8_t>(3 + (i % 2)), 0,
-                          [&, i](bool) {
-                            ++completed;
-                            send_next(i + 1);
-                          });
+    EXPECT_TRUE(
+        tx.post(b, 64,
+                {.dst = 1,
+                 .dst_port = static_cast<std::uint8_t>(3 + (i % 2)),
+                 .callback = [&, i](bool) {
+                   ++completed;
+                   send_next(i + 1);
+                 }}).ok());
   };
   send_next(0);
   cluster.eq().schedule_after(sim::usec(90), [&] {

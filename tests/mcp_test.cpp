@@ -60,7 +60,9 @@ TEST(McpTransport, ZeroLengthMessage) {
       [&](const gm::RecvInfo& info) { got = static_cast<int>(info.len); });
   bool done = false;
   gm::Buffer b = tx.alloc_dma_buffer(16);
-  tx.send_with_callback(b, 0, 1, 3, 0, [&](bool ok) { done = ok; });
+  ASSERT_TRUE(
+      tx.post(b, 0, {.dst = 1, .dst_port = 3,
+                     .callback = [&](bool ok) { done = ok; }}).ok());
   cluster.run_for(sim::msec(2));
   EXPECT_TRUE(done);
   EXPECT_EQ(got, 0);
@@ -217,7 +219,9 @@ TEST(McpTokens, NoBufferMeansRetryUntilProvided) {
 
   gm::Buffer sbuf = tx.alloc_dma_buffer(256);
   bool sent = false;
-  tx.send_with_callback(sbuf, 256, 1, 3, 0, [&](bool ok) { sent = ok; });
+  ASSERT_TRUE(
+      tx.post(sbuf, 256, {.dst = 1, .dst_port = 3,
+                          .callback = [&](bool ok) { sent = ok; }}).ok());
   cluster.run_for(sim::msec(3));
   EXPECT_FALSE(sent);  // receiver has no buffer: sender keeps retrying
   EXPECT_GT(cluster.node(1).mcp().stats().no_token_drops, 0u);
@@ -242,7 +246,9 @@ TEST(McpTokens, BufferTooSmallIsNotMatched) {
   rx.provide_receive_buffer(small);
   gm::Buffer sbuf = tx.alloc_dma_buffer(512);
   bool sent = false;
-  tx.send_with_callback(sbuf, 512, 1, 3, 0, [&](bool ok) { sent = ok; });
+  ASSERT_TRUE(
+      tx.post(sbuf, 512, {.dst = 1, .dst_port = 3,
+                          .callback = [&](bool ok) { sent = ok; }}).ok());
   cluster.run_for(sim::msec(3));
   EXPECT_FALSE(sent);
 
@@ -263,8 +269,9 @@ TEST(McpTokens, PriorityMustMatch) {
   rx.provide_receive_buffer(lo, /*priority=*/0);
   gm::Buffer sbuf = tx.alloc_dma_buffer(128);
   bool sent = false;
-  tx.send_with_callback(sbuf, 128, 1, 3, /*priority=*/1,
-                        [&](bool ok) { sent = ok; });
+  ASSERT_TRUE(
+      tx.post(sbuf, 128, {.dst = 1, .dst_port = 3, .priority = 1,
+                          .callback = [&](bool ok) { sent = ok; }}).ok());
   cluster.run_for(sim::msec(3));
   EXPECT_FALSE(sent);
   gm::Buffer hi = rx.alloc_dma_buffer(256);
@@ -275,21 +282,24 @@ TEST(McpTokens, PriorityMustMatch) {
 
 // ---- error paths ----
 
-TEST(McpErrors, UnroutableDestinationFailsCallback) {
+TEST(McpErrors, UnroutableDestinationRejectedSynchronously) {
   ClusterConfig cc = base_config();
   Cluster cluster(cc);
   auto& tx = cluster.node(0).open_port(2);
   cluster.run_for(sim::usec(900));
   gm::Buffer b = tx.alloc_dma_buffer(64);
-  bool cb_ok = true, fired = false;
-  tx.send_with_callback(b, 64, /*dst=*/7, 3, 0, [&](bool ok) {
-    cb_ok = ok;
-    fired = true;
-  });
+  const std::uint32_t tokens_before = tx.send_tokens_free();
+  bool fired = false;
+  const gm::Status st =
+      tx.post(b, 64, {.dst = 7, .dst_port = 3,
+                      .callback = [&](bool) { fired = true; }});
+  EXPECT_EQ(st.code(), gm::Status::kUnreachable);
   cluster.run_for(sim::msec(1));
-  EXPECT_TRUE(fired);
-  EXPECT_FALSE(cb_ok);
-  EXPECT_EQ(tx.stats().send_errors, 1u);
+  // The post was refused up front: no callback, no token consumed, no
+  // NIC-level send error manufactured.
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(tx.send_tokens_free(), tokens_before);
+  EXPECT_EQ(tx.stats().send_errors, 0u);
 }
 
 TEST(McpErrors, SendFromNotYetOpenPortErrors) {
@@ -298,10 +308,11 @@ TEST(McpErrors, SendFromNotYetOpenPortErrors) {
   auto& tx = cluster.node(0).open_port(2);
   gm::Buffer b = tx.alloc_dma_buffer(64);  // port opens at first L_timer
   bool fired = false, cb_ok = true;
-  tx.send_with_callback(b, 64, 1, 3, 0, [&](bool ok) {
-    cb_ok = ok;
-    fired = true;
-  });
+  ASSERT_TRUE(tx.post(b, 64, {.dst = 1, .dst_port = 3,
+                              .callback = [&](bool ok) {
+                                cb_ok = ok;
+                                fired = true;
+                              }}).ok());
   cluster.run_for(sim::msec(1));
   EXPECT_TRUE(fired);
   EXPECT_FALSE(cb_ok);

@@ -1,0 +1,145 @@
+// gm::Status semantics: the typed result of the GM host API. Each code
+// must be distinguishable at the call site (retry now vs back off vs give
+// up), and the bool shims must keep their historical meaning.
+#include <gtest/gtest.h>
+
+#include "gm/cluster.hpp"
+#include "gm/status.hpp"
+
+namespace myri {
+namespace {
+
+using gm::Cluster;
+using gm::ClusterConfig;
+using gm::Status;
+
+ClusterConfig two_nodes(mcp::McpMode mode = mcp::McpMode::kGm) {
+  ClusterConfig cc;
+  cc.nodes = 2;
+  cc.mode = mode;
+  return cc;
+}
+
+TEST(Status, CodesConvertContextuallyAndName) {
+  EXPECT_TRUE(Status().ok());
+  EXPECT_TRUE(static_cast<bool>(Status(Status::kOk)));
+  for (const auto c : {Status::kNoSendToken, Status::kNoRecvToken,
+                       Status::kRecovering, Status::kInvalidArg,
+                       Status::kUnreachable}) {
+    const Status st(c);
+    EXPECT_FALSE(st.ok());
+    EXPECT_FALSE(static_cast<bool>(st));
+    EXPECT_EQ(st.code(), c);
+    EXPECT_STRNE(st.message(), "unknown");
+    EXPECT_STRNE(st.message(), "ok");
+  }
+  EXPECT_EQ(Status(Status::kNoSendToken), Status::kNoSendToken);
+  EXPECT_NE(Status(Status::kNoSendToken), Status::kNoRecvToken);
+}
+
+TEST(Status, InvalidArgumentsRejectedBeforeAnythingElse) {
+  Cluster cluster(two_nodes());
+  auto& tx = cluster.node(0).open_port(2);
+  cluster.run_for(sim::usec(900));
+  gm::Buffer b = tx.alloc_dma_buffer(64);
+
+  gm::Buffer unallocated;  // size 0 => invalid
+  EXPECT_EQ(tx.post(unallocated, 16, {.dst = 1}).code(), Status::kInvalidArg);
+  EXPECT_EQ(tx.post(b, 65, {.dst = 1}).code(), Status::kInvalidArg);
+  EXPECT_EQ(tx.post(b, 64, {.dst = net::kInvalidNode}).code(),
+            Status::kInvalidArg);
+  EXPECT_EQ(tx.provide_receive_buffer(unallocated).code(),
+            Status::kInvalidArg);
+  // Token accounting untouched by rejected posts.
+  EXPECT_EQ(tx.stats().sends_posted, 0u);
+}
+
+TEST(Status, SendTokenExhaustionReportsNoSendToken) {
+  Cluster cluster(two_nodes());
+  gm::Port::Config pc;
+  pc.send_tokens = 2;
+  auto& tx = cluster.node(0).open_port(2, pc);
+  cluster.run_for(sim::usec(900));
+  gm::Buffer b = tx.alloc_dma_buffer(256);
+
+  EXPECT_TRUE(tx.post(b, 256, {.dst = 1, .dst_port = 3}).ok());
+  EXPECT_TRUE(tx.post(b, 256, {.dst = 1, .dst_port = 3}).ok());
+  const Status st = tx.post(b, 256, {.dst = 1, .dst_port = 3});
+  EXPECT_EQ(st.code(), Status::kNoSendToken);
+  EXPECT_EQ(tx.send_tokens_free(), 0u);
+}
+
+TEST(Status, RecvTokenExhaustionReportsNoRecvToken) {
+  Cluster cluster(two_nodes());
+  gm::Port::Config pc;
+  pc.recv_tokens = 1;
+  auto& rx = cluster.node(1).open_port(3, pc);
+  cluster.run_for(sim::usec(900));
+  gm::Buffer b0 = rx.alloc_dma_buffer(256);
+  gm::Buffer b1 = rx.alloc_dma_buffer(256);
+  EXPECT_TRUE(rx.provide_receive_buffer(b0).ok());
+  EXPECT_EQ(rx.provide_receive_buffer(b1).code(), Status::kNoRecvToken);
+}
+
+TEST(Status, MissingRouteReportsUnreachable) {
+  ClusterConfig cc = two_nodes();
+  cc.install_routes = false;  // nobody ran the mapper either
+  Cluster cluster(cc);
+  auto& tx = cluster.node(0).open_port(2);
+  cluster.run_for(sim::usec(900));
+  gm::Buffer b = tx.alloc_dma_buffer(64);
+  bool fired = false;
+  const Status st = tx.post(
+      b, 64, {.dst = 1, .dst_port = 3, .callback = [&](bool) { fired = true; }});
+  EXPECT_EQ(st.code(), Status::kUnreachable);
+  cluster.run_for(sim::msec(1));
+  EXPECT_FALSE(fired);  // rejected posts never invoke the callback
+}
+
+TEST(Status, RecoveringPortRefusesWorkUntilReplayCompletes) {
+  Cluster cluster(two_nodes(mcp::McpMode::kFtgm));
+  auto& tx = cluster.node(0).open_port(2);
+  cluster.node(1).open_port(3);
+  cluster.run_for(sim::msec(2));
+  gm::Buffer b = tx.alloc_dma_buffer(256);
+  ASSERT_TRUE(tx.post(b, 256, {.dst = 1, .dst_port = 3}).ok());
+
+  // Hang the NIC; the watchdog detects it, the driver restarts the MCP and
+  // the port enters FAULT_DETECTED replay. The FTD pipeline alone takes
+  // ~765 ms of simulated time (paper Table 3), so step in 1 ms increments.
+  cluster.node(0).mcp().inject_hang("test");
+  for (int i = 0; i < 2000 && !tx.recovering(); ++i) {
+    cluster.run_for(sim::msec(1));
+  }
+  ASSERT_TRUE(tx.recovering());
+
+  // Mid-replay: every posting entry point backs the caller off.
+  EXPECT_EQ(tx.post(b, 256, {.dst = 1, .dst_port = 3}).code(),
+            Status::kRecovering);
+  EXPECT_EQ(tx.provide_receive_buffer(tx.alloc_dma_buffer(256)).code(),
+            Status::kRecovering);
+  EXPECT_EQ(tx.get_with_callback(b, 64, 1, 3, 0, nullptr).code(),
+            Status::kRecovering);
+
+  // Once replay finishes the port accepts work again (paper: transparent
+  // recovery, applications unchanged).
+  for (int i = 0; i < 4000 && tx.recovering(); ++i) {
+    cluster.run_for(sim::msec(1));
+  }
+  ASSERT_FALSE(tx.recovering());
+  EXPECT_TRUE(tx.post(b, 256, {.dst = 1, .dst_port = 3}).ok());
+}
+
+TEST(Status, BoolShimKeepsHistoricalMeaning) {
+  Cluster cluster(two_nodes());
+  gm::Port::Config pc;
+  pc.send_tokens = 1;
+  auto& tx = cluster.node(0).open_port(2, pc);
+  cluster.run_for(sim::usec(900));
+  gm::Buffer b = tx.alloc_dma_buffer(64);
+  EXPECT_TRUE(tx.send(b, 64, 1, 3));
+  EXPECT_FALSE(tx.send(b, 64, 1, 3));  // token gone => false, as before
+}
+
+}  // namespace
+}  // namespace myri
