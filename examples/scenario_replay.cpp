@@ -1,0 +1,118 @@
+// scenario_replay: re-run a chaos-schedule repro artifact bit-identically.
+//
+//   scenario_replay repro.json            verify the recorded outcome
+//   scenario_replay repro.json --print    also dump the parsed scenario
+//   scenario_replay --random SEED         run a random schedule (no file)
+//
+// A repro artifact is the {seed, topology, schedule, expect} JSON the
+// Shrinker writes when a chaos sweep fails. Replay rebuilds the exact
+// cluster, applies the schedule at the same virtual times and compares
+// the outcome digest against the recorded one: equal digests mean the
+// failure reproduced bit for bit. Exit codes:
+//   0  outcome matches the artifact's expect block (or, without an
+//      expect block / with --random, the run passed)
+//   1  outcome diverged from the expectation (or the run failed)
+//   2  usage / parse errors
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "faultinject/scenario.hpp"
+
+using namespace myri;
+
+namespace {
+
+void print_report(const fi::Scenario& s, const fi::RunReport& r) {
+  std::printf("scenario: %d nodes on %s fabric, %s, %d x %u B per stream, "
+              "%zu event(s), seed %llu\n",
+              s.nodes, net::to_string(s.fabric),
+              s.mode == mcp::McpMode::kGm ? "GM" : "FTGM", s.msgs, s.msg_len,
+              s.events.size(), static_cast<unsigned long long>(s.seed));
+  for (const fi::ScenarioEvent& ev : s.events) {
+    std::printf("  [%12.3f us] %s node=%d cable=%d\n", sim::to_usec(ev.at),
+                fi::to_string(ev.kind), ev.node, ev.cable);
+  }
+  std::printf("result: %s", r.failed() ? "FAILED" : "ok");
+  if (!r.oracle_ok) {
+    std::printf(" — oracle violation '%s' at %.3f us (%s)",
+                r.violation.c_str(), sim::to_usec(r.violation_at),
+                r.violation_detail.c_str());
+  } else if (!r.delivered) {
+    std::printf(" — incomplete delivery");
+  }
+  std::printf("\ndeliveries=%llu recoveries=%llu remaps=%llu checks=%llu "
+              "end=%.3f ms\ndigest: %llu\n",
+              static_cast<unsigned long long>(r.deliveries),
+              static_cast<unsigned long long>(r.recoveries),
+              static_cast<unsigned long long>(r.remaps),
+              static_cast<unsigned long long>(r.oracle_checks),
+              sim::to_msec(r.end_time),
+              static_cast<unsigned long long>(r.digest));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s repro.json [--print] | --random SEED\n", argv[0]);
+    return 2;
+  }
+
+  if (std::strcmp(argv[1], "--random") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr, "--random needs a seed\n");
+      return 2;
+    }
+    const fi::Scenario s =
+        fi::Scenario::random(std::strtoull(argv[2], nullptr, 0));
+    if (argc > 3 && std::strcmp(argv[3], "--print") == 0) {
+      std::printf("%s\n", s.to_json().c_str());
+    }
+    const fi::RunReport r = fi::ScenarioRunner::run(s);
+    print_report(s, r);
+    return r.failed() ? 1 : 0;
+  }
+
+  std::ifstream f(argv[1]);
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  const std::string text = buf.str();
+
+  std::string err;
+  const auto s = fi::Scenario::from_json(text, &err);
+  if (!s) {
+    std::fprintf(stderr, "parse error in %s: %s\n", argv[1], err.c_str());
+    return 2;
+  }
+  const bool print = argc > 2 && std::strcmp(argv[2], "--print") == 0;
+  if (print) std::printf("%s\n", s->to_json().c_str());
+
+  const fi::RunReport r = fi::ScenarioRunner::run(*s);
+  print_report(*s, r);
+
+  const auto expect = fi::parse_repro_expect(text);
+  if (!expect) {
+    // Plain scenario file: success = the run holds its invariants.
+    return r.failed() ? 1 : 0;
+  }
+  if (r.failed() != expect->failed ||
+      r.failure_signature() != expect->signature ||
+      r.digest != expect->digest) {
+    std::printf("REPLAY DIVERGED: expected %s signature='%s' digest=%llu\n",
+                expect->failed ? "failure" : "pass",
+                expect->signature.c_str(),
+                static_cast<unsigned long long>(expect->digest));
+    return 1;
+  }
+  std::printf("replay matches the recorded outcome (digest %llu)\n",
+              static_cast<unsigned long long>(r.digest));
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Continuous cluster-wide invariant oracle.
+//
+// The hand-written sweeps only asserted invariants at end-of-run: a
+// violation that appeared and healed mid-run (a duplicate delivery later
+// compensated, a token leak refilled by recovery) was invisible. The
+// Oracle hooks sim::EventQueue's after-event observer and re-checks the
+// DESIGN.md invariants at event granularity while the schedule runs:
+//
+//   stream-fifo          per-stream delivery indices strictly ascend by 1
+//   stream-exactly-once  no message index delivered twice
+//   stream-corruption    no delivered payload fails verification
+//   token-conservation   a port never holds more tokens than configured
+//   watchdog-soundness   no false alarms; recoveries never exceed wakeups
+//   metrics-consistency  metrics::Registry counters agree with component
+//                        stats (ftd recoveries/wakeups) and per-link
+//                        delivered <= offered accounting
+//   quiescence           after all streams complete and the cluster
+//                        drains: all send tokens free, FTGM send backups
+//                        empty (final_check only)
+//
+// The first violation is recorded with its virtual timestamp and checking
+// stops (later checks would cascade). The oracle is deterministic: its
+// check count and violation list feed the run's outcome digest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gm/cluster.hpp"
+#include "sim/time.hpp"
+
+namespace myri::fi {
+
+class StreamWorkload;
+
+class Oracle {
+ public:
+  struct Config {
+    /// Full invariant sweeps are throttled to at most one per this much
+    /// virtual time (delivery-driven stream checks are unthrottled).
+    sim::Time check_gap = sim::usec(200);
+  };
+
+  struct Violation {
+    sim::Time at = 0;
+    std::string invariant;  // stable name, see table above
+    std::string detail;
+  };
+
+  Oracle(gm::Cluster& cluster, Config cfg);
+  ~Oracle();
+  Oracle(const Oracle&) = delete;
+  Oracle& operator=(const Oracle&) = delete;
+
+  /// Register a stream and the token allotment of the two ports carrying
+  /// it. Call once per stream before attach().
+  void watch(StreamWorkload& wl, std::uint32_t send_tokens,
+             std::uint32_t recv_tokens);
+
+  /// Install the event-queue hook: every executed event may trigger a
+  /// sweep (throttled by Config::check_gap).
+  void attach();
+  /// Remove the hook (the destructor also detaches).
+  void detach();
+
+  /// Per-delivery stream check: `msg` is the delivered message index
+  /// (-1 = failed verification). Unthrottled; call for every delivery.
+  void on_delivery(std::size_t stream, int msg);
+
+  /// Run one full invariant sweep right now.
+  void check_now();
+
+  /// End-of-run quiescence checks; call after the cluster drained.
+  void final_check();
+
+  [[nodiscard]] bool ok() const noexcept { return violations_.empty(); }
+  [[nodiscard]] const std::vector<Violation>& violations() const noexcept {
+    return violations_;
+  }
+  [[nodiscard]] std::uint64_t checks_run() const noexcept { return checks_; }
+
+ private:
+  struct Stream {
+    StreamWorkload* wl = nullptr;
+    std::uint32_t send_tokens = 0;
+    std::uint32_t recv_tokens = 0;
+    int next_msg = 0;  // FIFO cursor: the only index allowed next
+  };
+
+  void violate(const std::string& invariant, const std::string& detail);
+  void check_streams();
+  void check_tokens();
+  void check_watchdog();
+  void check_metrics();
+
+  gm::Cluster& cluster_;
+  Config cfg_;
+  std::vector<Stream> streams_;
+  std::vector<Violation> violations_;
+  sim::Time last_check_ = 0;
+  bool checked_once_ = false;
+  bool attached_ = false;
+  std::uint64_t checks_ = 0;
+};
+
+}  // namespace myri::fi

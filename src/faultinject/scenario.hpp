@@ -1,0 +1,175 @@
+// Declarative, seed-deterministic chaos schedules.
+//
+// A Scenario is a complete description of one fault experiment: topology
+// (any gm::Cluster / net::FabricBuilder preset), a verified neighbour-ring
+// workload, baseline link-error rates, and a list of timed fault events
+// (NIC hang, trunk-cable kill/restore, link-fault window, SRAM bit flip)
+// applied at exact sim::Time points. The same Scenario value always
+// produces the same run, bit for bit — the outcome digest makes that
+// checkable — which is what lets the Shrinker minimize failing schedules
+// and scenario_replay re-run a JSON repro artifact identically.
+//
+// The paper's experiments (Section 5.2 hang masking; PR 2's cable
+// failover) are single fixed fault shapes; Scenario composes them: every
+// hand-written chaos/property sweep is now a schedule, and randomized
+// schedules explore the shapes nobody wrote by hand.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mcp/types.hpp"
+#include "net/fabric.hpp"
+#include "sim/time.hpp"
+
+namespace myri::fi {
+
+/// One timed fault in a schedule. Which fields matter depends on `kind`;
+/// unused fields stay at their defaults (and serialize/compare as such).
+struct ScenarioEvent {
+  enum class Kind : int {
+    kNicHang = 0,      // wedge node `node`'s network processor
+    kCableDown = 1,    // kill trunk cable index `cable` (fabric order)
+    kCableUp = 2,      // restore trunk cable index `cable`
+    kFaultWindow = 3,  // drop/corrupt rates on every link for `duration`
+    kSramFlip = 4,     // flip `bit` of data-segment byte `offset`, node
+    kDoubleDeliver = 5,  // test-only: report stream `node`'s next
+                         // delivery twice to the oracle (breaks
+                         // exactly-once on purpose; never generated
+                         // randomly — exists to prove the oracle and the
+                         // shrink/replay loop catch a real violation)
+  };
+
+  sim::Time at = 0;  // absolute virtual time (workload starts at kWarmup)
+  Kind kind = Kind::kNicHang;
+  int node = 0;               // kNicHang/kSramFlip victim; stream index
+  int cable = 0;              // kCableDown/kCableUp trunk index
+  double drop = 0.0;          // kFaultWindow rates
+  double corrupt = 0.0;
+  sim::Time duration = 0;     // kFaultWindow length
+  std::uint32_t offset = 0;   // kSramFlip byte offset into the data segment
+  unsigned bit = 0;           // kSramFlip bit 0..7
+
+  friend bool operator==(const ScenarioEvent&, const ScenarioEvent&) = default;
+};
+
+[[nodiscard]] const char* to_string(ScenarioEvent::Kind k);
+
+/// A full experiment description. Everything the run depends on lives
+/// here (plus the code itself): serializing {seed, topology, schedule}
+/// to JSON and re-running reproduces the run exactly.
+struct Scenario {
+  /// Workloads start (and event times are usually at/after) this point:
+  /// the cluster needs ~900 us of L_timer control traffic to open ports.
+  static constexpr sim::Time kWarmup = sim::usec(900);
+
+  std::uint64_t seed = 1;  // cluster RNG seed (link faults, jitter)
+  // ---- topology ----
+  int nodes = 2;
+  net::FabricPreset fabric = net::FabricPreset::kSingleSwitch;
+  std::uint8_t radix = 8;
+  mcp::McpMode mode = mcp::McpMode::kFtgm;
+  // ---- workload: node i streams msgs x msg_len to node (i+1) % nodes ----
+  int msgs = 25;
+  std::uint32_t msg_len = 1800;
+  // ---- baseline link-error rates for the whole run ----
+  double drop = 0.0;
+  double corrupt = 0.0;
+  double misroute = 0.0;
+  /// 0 = derive from schedule (hangs cost ~4 s of recovery each, ...).
+  sim::Time horizon = 0;
+  std::vector<ScenarioEvent> events;
+
+  friend bool operator==(const Scenario&, const Scenario&) = default;
+
+  /// Deterministic random scenario: topology, rates and schedule are all
+  /// derived from `rand_seed`. Never emits the test-only kDoubleDeliver
+  /// kind; hangs are spaced past the ~1.7 s recovery; cable events only
+  /// appear on redundant fabrics (ring, fat-tree) where the mapper can
+  /// route around them.
+  [[nodiscard]] static Scenario random(std::uint64_t rand_seed);
+
+  /// {seed, topology, schedule} JSON (deterministic field order).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Parse to_json() output (also accepts insignificant whitespace).
+  /// nullopt on malformed input; `err` (if non-null) says what broke.
+  [[nodiscard]] static std::optional<Scenario> from_json(
+      const std::string& text, std::string* err = nullptr);
+};
+
+/// Per-stream outcome (stream i = node i -> node (i+1) % nodes).
+struct StreamOutcome {
+  int received = 0;
+  int duplicates = 0;
+  int corrupted = 0;
+  int missing = 0;
+  bool complete = false;
+};
+
+/// Everything a run reports. `digest` is a stable FNV-1a hash of the
+/// delivery log (stream, msg, time of every delivery), the oracle's
+/// violation list and the end-of-run counters: two runs of the same
+/// Scenario must produce equal digests, and a schedule "fails the same
+/// way" exactly when digests match.
+struct RunReport {
+  bool delivered = false;    // every stream complete, exactly-once
+  bool oracle_ok = true;     // no invariant violation mid-run
+  std::string violation;     // first violated invariant (empty if none)
+  std::string violation_detail;
+  sim::Time violation_at = 0;
+  std::uint64_t digest = 0;
+  std::uint64_t deliveries = 0;   // delivery-log length
+  std::uint64_t oracle_checks = 0;
+  std::uint64_t recoveries = 0;   // FTD recoveries, cluster-wide
+  std::uint64_t remaps = 0;       // failover remaps (multi-switch only)
+  sim::Time end_time = 0;
+  std::vector<StreamOutcome> streams;
+
+  [[nodiscard]] bool failed() const { return !delivered || !oracle_ok; }
+  /// Stable failure identity for the shrinker: the violated invariant, or
+  /// incomplete delivery when the oracle saw nothing wrong.
+  [[nodiscard]] std::string failure_signature() const {
+    if (!oracle_ok) return violation;
+    return delivered ? std::string() : std::string("incomplete-delivery");
+  }
+};
+
+class ScenarioRunner {
+ public:
+  struct Options {
+    /// Oracle sampling throttle: invariants are re-checked at the first
+    /// event boundary at least this long after the previous check (plus
+    /// at every delivery, unthrottled).
+    sim::Time check_gap = sim::usec(200);
+  };
+
+  /// Build the cluster, apply the schedule, run to completion or horizon,
+  /// and report. Deterministic for equal (scenario, opt).
+  [[nodiscard]] static RunReport run(const Scenario& s, const Options& opt);
+  [[nodiscard]] static RunReport run(const Scenario& s) {
+    return run(s, Options{});
+  }
+};
+
+/// Repro artifact: scenario plus the failure it reproduces, as JSON.
+/// Scenario::from_json reads the artifact back (the "expect" block is
+/// ignored there); parse_repro_expect extracts the recorded outcome so
+/// scenario_replay can verify the re-run matches bit for bit.
+[[nodiscard]] std::string repro_json(const Scenario& s, const RunReport& r);
+/// Write repro_json to `path`; false on I/O error.
+bool write_repro(const std::string& path, const Scenario& s,
+                 const RunReport& r);
+
+/// The "expect" block of a repro artifact.
+struct ReproExpect {
+  bool failed = false;
+  std::string signature;       // RunReport::failure_signature()
+  std::uint64_t digest = 0;
+};
+[[nodiscard]] std::optional<ReproExpect> parse_repro_expect(
+    const std::string& text);
+
+}  // namespace myri::fi

@@ -1,0 +1,95 @@
+#include "faultinject/shrinker.hpp"
+
+#include <algorithm>
+
+namespace myri::fi {
+
+namespace {
+
+/// Rewrite a scenario for a smaller node count: victim/stream indices are
+/// remapped into range; the fabric preset survives if it can still carry
+/// the new count (capacity() gate in the caller).
+Scenario with_nodes(const Scenario& s, int nodes) {
+  Scenario out = s;
+  out.nodes = nodes;
+  for (ScenarioEvent& ev : out.events) {
+    ev.node = ev.node % nodes;
+  }
+  return out;
+}
+
+bool satisfiable(const Scenario& s) {
+  const std::size_t cap =
+      net::FabricBuilder::capacity({s.fabric, s.nodes, s.radix});
+  return s.nodes >= 2 && static_cast<std::size_t>(s.nodes) <= cap;
+}
+
+}  // namespace
+
+ShrinkResult Shrinker::shrink(const Scenario& failing,
+                              const RunReport& original, const Config& cfg) {
+  ShrinkResult res;
+  res.minimal = failing;
+  res.report = original;
+  const std::string signature = original.failure_signature();
+
+  // A candidate is an improvement iff it still fails with the same
+  // signature. Signature (not full digest) is the right equivalence:
+  // removing an irrelevant event legitimately changes timings, but the
+  // violated invariant must not drift.
+  auto try_candidate = [&](const Scenario& cand) -> bool {
+    if (!satisfiable(cand)) return false;
+    if (res.attempts >= cfg.max_attempts) return false;
+    ++res.attempts;
+    const RunReport rep = ScenarioRunner::run(cand, cfg.run);
+    if (!rep.failed() || rep.failure_signature() != signature) return false;
+    res.minimal = cand;
+    res.report = rep;
+    ++res.accepted;
+    return true;
+  };
+
+  bool improved = true;
+  while (improved && res.attempts < cfg.max_attempts) {
+    improved = false;
+
+    // 1. Drop events, last first (later events are most often cleanup /
+    //    aftershock; removing them first keeps indices stable).
+    for (int i = static_cast<int>(res.minimal.events.size()) - 1; i >= 0;
+         --i) {
+      Scenario cand = res.minimal;
+      cand.events.erase(cand.events.begin() + i);
+      if (try_candidate(cand)) improved = true;
+    }
+
+    // 2. Shorten fault windows.
+    for (std::size_t i = 0; i < res.minimal.events.size(); ++i) {
+      if (res.minimal.events[i].kind != ScenarioEvent::Kind::kFaultWindow ||
+          res.minimal.events[i].duration <= sim::usec(50)) {
+        continue;
+      }
+      Scenario cand = res.minimal;
+      cand.events[i].duration /= 2;
+      if (try_candidate(cand)) improved = true;
+    }
+
+    // 3. Shrink the cluster: halve, then step down to the 2-node floor.
+    for (int n : {res.minimal.nodes / 2, res.minimal.nodes - 1, 2}) {
+      if (n >= 2 && n < res.minimal.nodes &&
+          try_candidate(with_nodes(res.minimal, n))) {
+        improved = true;
+        break;
+      }
+    }
+
+    // 4. Shorten the workload.
+    if (res.minimal.msgs > 5) {
+      Scenario cand = res.minimal;
+      cand.msgs = std::max(5, cand.msgs / 2);
+      if (try_candidate(cand)) improved = true;
+    }
+  }
+  return res;
+}
+
+}  // namespace myri::fi

@@ -1,0 +1,43 @@
+// Delta-debugging shrinker for failing chaos schedules.
+//
+// A randomized schedule that trips the oracle usually carries events that
+// have nothing to do with the failure. The shrinker minimizes while
+// preserving the failure signature (RunReport::failure_signature): it
+// repeatedly re-runs candidate scenarios with events removed, fault
+// windows halved, the node count reduced and the workload shortened,
+// keeping every candidate that still fails the same way, until a fixpoint
+// (or the attempt budget) is reached. The minimal scenario is written as
+// a JSON repro artifact that examples/scenario_replay re-runs
+// bit-identically.
+#pragma once
+
+#include "faultinject/scenario.hpp"
+
+namespace myri::fi {
+
+struct ShrinkResult {
+  Scenario minimal;
+  RunReport report;      // how `minimal` fails
+  int attempts = 0;      // candidate runs executed
+  int accepted = 0;      // candidates that kept the failure
+};
+
+class Shrinker {
+ public:
+  struct Config {
+    int max_attempts = 300;
+    ScenarioRunner::Options run{};
+  };
+
+  /// Minimize `failing` (which must fail when run; `original` is its
+  /// report). Deterministic: same inputs, same minimal scenario.
+  [[nodiscard]] static ShrinkResult shrink(const Scenario& failing,
+                                           const RunReport& original,
+                                           const Config& cfg);
+  [[nodiscard]] static ShrinkResult shrink(const Scenario& failing,
+                                           const RunReport& original) {
+    return shrink(failing, original, Config{});
+  }
+};
+
+}  // namespace myri::fi

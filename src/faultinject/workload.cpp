@@ -71,9 +71,11 @@ void StreamWorkload::pump_sends() {
                }
                pump_sends();
              }});
-    if (st.code() == gm::Status::kRecovering) {
-      // FAULT_DETECTED replay in progress: no completion callback is due
-      // to wake us, so come back on a timer once the port reopens.
+    if (st.code() == gm::Status::kRecovering ||
+        st.code() == gm::Status::kUnreachable) {
+      // FAULT_DETECTED replay in progress, or no route right now (cable
+      // down, remap pending): no completion callback is due to wake us,
+      // so come back on a timer once the port reopens / routes return.
       ++send_backoffs_;
       arm_retry();
       return;
@@ -110,6 +112,7 @@ void StreamWorkload::verify(const gm::RecvInfo& info) {
   auto span = receiver_.node().memory().at(info.buffer.addr, info.len);
   if (span.size() < 4 || info.len != cfg_.msg_len) {
     ++corrupted_;
+    if (on_delivery_) on_delivery_(-1);
     return;
   }
   const int msg = std::to_integer<int>(span[0]) |
@@ -118,6 +121,7 @@ void StreamWorkload::verify(const gm::RecvInfo& info) {
                   std::to_integer<int>(span[3]) << 24;
   if (msg < 0 || msg >= cfg_.total_msgs) {
     ++corrupted_;
+    if (on_delivery_) on_delivery_(-1);
     return;
   }
   bool ok = true;
@@ -129,9 +133,11 @@ void StreamWorkload::verify(const gm::RecvInfo& info) {
   }
   if (!ok) {
     ++corrupted_;
+    if (on_delivery_) on_delivery_(-1);
     return;
   }
   if (++recv_count_[static_cast<std::size_t>(msg)] > 1) ++duplicates_;
+  if (on_delivery_) on_delivery_(msg);
 }
 
 int StreamWorkload::missing() const {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "gm/node.hpp"
@@ -30,6 +31,18 @@ class StreamWorkload {
 
   /// Allocate buffers, arm the receiver, begin streaming.
   void start();
+
+  /// Observer invoked for every delivered message with its decoded index
+  /// (-1 when the payload failed verification). Fires for duplicates too,
+  /// so a continuous oracle sees every delivery, not just the first. Must
+  /// be set before start().
+  void set_on_delivery(std::function<void(int msg)> obs) {
+    on_delivery_ = std::move(obs);
+  }
+
+  [[nodiscard]] gm::Port& sender() noexcept { return sender_; }
+  [[nodiscard]] gm::Port& receiver() noexcept { return receiver_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
 
   // ---- outcome counters ----
   [[nodiscard]] int sent_ok() const noexcept { return sent_ok_; }
@@ -72,6 +85,7 @@ class StreamWorkload {
   int duplicates_ = 0;
   bool started_ = false;
   bool retry_armed_ = false;
+  std::function<void(int)> on_delivery_;
   std::vector<gm::Buffer> recv_retry_;  // provides refused mid-recovery
 };
 

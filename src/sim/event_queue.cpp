@@ -63,6 +63,7 @@ bool EventQueue::pop_and_run() {
     // or cancel freely, including rescheduling itself.
     Callback cb = std::move(e->cb);
     cb();
+    if (after_event_) after_event_(now_);
     return true;
   }
   return false;

@@ -65,6 +65,16 @@ class EventQueue {
   /// The cap guards tests against runaway self-rescheduling loops.
   std::size_t run(std::size_t max_events = SIZE_MAX);
 
+  /// Observer invoked after every executed event, with the clock already
+  /// advanced to the event's timestamp. Continuous checkers (the chaos
+  /// oracle) hook here to sample cluster invariants at event granularity
+  /// instead of only at end-of-run. One observer at a time (last wins;
+  /// empty function clears). The observer must not call step()/run*()
+  /// re-entrantly, but may schedule new events.
+  void set_after_event(std::function<void(Time)> obs) {
+    after_event_ = std::move(obs);
+  }
+
   /// True if no live (non-cancelled) events remain.
   [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
 
@@ -79,6 +89,7 @@ class EventQueue {
   bool pop_and_run();
 
   std::vector<std::shared_ptr<Handle::Entry>> heap_;
+  std::function<void(Time)> after_event_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;

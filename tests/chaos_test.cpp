@@ -1,10 +1,14 @@
 // Chaos/soak tests: long runs combining lossy links with repeated NIC
 // hangs on multiple nodes. The exactly-once invariant must hold through
 // everything FTGM claims to mask.
+//
+// The sweeps are fi::Scenario schedules: the declarative form replaces
+// the hand-rolled cluster/workload/schedule_at setup these tests used to
+// carry, and the fi::Oracle now also audits tokens, the watchdog and the
+// metrics registry continuously while the original assertions still run.
 #include <gtest/gtest.h>
 
-#include "faultinject/workload.hpp"
-#include "gm/cluster.hpp"
+#include "faultinject/scenario.hpp"
 #include "sim/rng.hpp"
 
 namespace myri {
@@ -17,61 +21,44 @@ struct ChaosCase {
   double drop, corrupt;  // link fault rates
 };
 
+fi::Scenario chaos_scenario(const ChaosCase& tc) {
+  fi::Scenario s;
+  s.seed = tc.seed;
+  s.nodes = tc.node_count;
+  s.msgs = 25;
+  s.msg_len = 1800;
+  s.drop = tc.drop;
+  s.corrupt = tc.corrupt;
+  // Hangs on rotating victims, spaced past the ~1.7 s recovery — same
+  // shape (and same derived RNG) as the hand-rolled version.
+  sim::Rng rng(tc.seed ^ 0xc0ffee);
+  sim::Time at = fi::Scenario::kWarmup + sim::usec(50);
+  for (int f = 0; f < tc.faults; ++f) {
+    fi::ScenarioEvent ev;
+    ev.kind = fi::ScenarioEvent::Kind::kNicHang;
+    ev.node = static_cast<int>(rng.below(tc.node_count));
+    ev.at = at;
+    s.events.push_back(ev);
+    at += sim::sec(2) + sim::usec(rng.below(500'000));
+  }
+  return s;
+}
+
 class ChaosSweep : public ::testing::TestWithParam<ChaosCase> {};
 
 TEST_P(ChaosSweep, ExactlyOnceThroughRepeatedFaultsAndLoss) {
   const ChaosCase& tc = GetParam();
-  gm::ClusterConfig cc;
-  cc.nodes = tc.node_count;
-  cc.mode = mcp::McpMode::kFtgm;
-  cc.seed = tc.seed;
-  cc.faults = {tc.drop, tc.corrupt, 0.0};
-  gm::Cluster cluster(cc);
+  const fi::RunReport r = fi::ScenarioRunner::run(chaos_scenario(tc));
 
-  // A mesh of workloads: node i sends to node (i+1) % n.
-  std::vector<std::unique_ptr<fi::StreamWorkload>> wls;
-  std::vector<gm::Port*> ports;
+  EXPECT_TRUE(r.oracle_ok) << r.violation << ": " << r.violation_detail;
+  ASSERT_EQ(r.streams.size(), static_cast<std::size_t>(tc.node_count));
   for (int i = 0; i < tc.node_count; ++i) {
-    ports.push_back(&cluster.node(i).open_port(2, {24, 24}));
-  }
-  fi::StreamWorkload::Config wc;
-  wc.total_msgs = 25;
-  wc.msg_len = 1800;
-  cluster.run_for(sim::usec(900));
-  for (int i = 0; i < tc.node_count; ++i) {
-    wls.push_back(std::make_unique<fi::StreamWorkload>(
-        *ports[i], *ports[(i + 1) % tc.node_count], wc));
-    wls.back()->start();
-  }
-
-  // Inject hangs on rotating victims, spaced past the ~1.7 s recovery.
-  sim::Rng rng(tc.seed ^ 0xc0ffee);
-  sim::Time at = sim::usec(50);
-  for (int f = 0; f < tc.faults; ++f) {
-    const int victim = static_cast<int>(rng.below(tc.node_count));
-    cluster.eq().schedule_at(at, [&cluster, victim] {
-      cluster.node(victim).mcp().inject_hang("chaos");
-    });
-    at += sim::sec(2) + sim::usec(rng.below(500'000));
-  }
-
-  // Run long enough for every fault + recovery + redelivery.
-  const sim::Time horizon =
-      at + sim::sec(3) + sim::msec(200 * tc.node_count);
-  while (cluster.eq().now() < horizon) {
-    cluster.run_for(sim::msec(100));
-    bool all = true;
-    for (auto& w : wls) all = all && w->complete();
-    if (all) break;
-  }
-
-  for (int i = 0; i < tc.node_count; ++i) {
-    EXPECT_TRUE(wls[i]->complete())
-        << "stream " << i << ": recv=" << wls[i]->received()
-        << " missing=" << wls[i]->missing()
-        << " dup=" << wls[i]->duplicates();
-    EXPECT_EQ(wls[i]->duplicates(), 0) << "stream " << i;
-    EXPECT_EQ(wls[i]->corrupted(), 0) << "stream " << i;
+    const fi::StreamOutcome& so = r.streams[static_cast<std::size_t>(i)];
+    EXPECT_TRUE(so.complete)
+        << "stream " << i << ": recv=" << so.received
+        << " missing=" << so.missing << " dup=" << so.duplicates;
+    EXPECT_EQ(so.duplicates, 0) << "stream " << i;
+    EXPECT_EQ(so.corrupted, 0) << "stream " << i;
   }
 }
 
@@ -91,27 +78,20 @@ INSTANTIATE_TEST_SUITE_P(Runs, ChaosSweep, ::testing::ValuesIn(chaos_cases()));
 TEST(ChaosSoak, ManySequentialFaultsOnOnePair) {
   // Five consecutive hang/recover cycles on the same sender while a long
   // verified transfer grinds through.
-  gm::ClusterConfig cc;
-  cc.nodes = 2;
-  cc.mode = mcp::McpMode::kFtgm;
-  gm::Cluster cluster(cc);
-  auto& tx = cluster.node(0).open_port(2);
-  auto& rx = cluster.node(1).open_port(3);
-  fi::StreamWorkload::Config wc;
-  wc.total_msgs = 120;
-  wc.msg_len = 2048;
-  fi::StreamWorkload wl(tx, rx, wc);
-  cluster.run_for(sim::usec(900));
-  wl.start();
+  fi::Scenario s;
+  s.nodes = 2;
+  s.msgs = 120;
+  s.msg_len = 2048;
   for (int f = 0; f < 5; ++f) {
-    cluster.eq().schedule_after(sim::msec(100) + sim::sec(2) * f, [&] {
-      cluster.node(0).mcp().inject_hang("soak");
-    });
+    fi::ScenarioEvent ev;
+    ev.kind = fi::ScenarioEvent::Kind::kNicHang;
+    ev.node = 0;
+    ev.at = fi::Scenario::kWarmup + sim::msec(100) + sim::sec(2) * f;
+    s.events.push_back(ev);
   }
-  cluster.run_for(sim::sec(14));
-  EXPECT_TRUE(wl.complete());
-  EXPECT_EQ(wl.duplicates(), 0);
-  EXPECT_EQ(tx.recoveries(), 5u);
+  const fi::RunReport r = fi::ScenarioRunner::run(s);
+  EXPECT_FALSE(r.failed()) << r.violation << ": " << r.violation_detail;
+  EXPECT_EQ(r.recoveries, 5u);
 }
 
 }  // namespace

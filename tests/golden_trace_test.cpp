@@ -1,0 +1,105 @@
+// Golden-trace regression for the FTGM recovery sequence.
+//
+// Records the kFt trace of a short two-node run with one injected NIC
+// hang and compares it, line for line, against the checked-in golden
+// file. The virtual-time simulation is deterministic, so any divergence
+// — an extra wakeup, a reordered phase, a shifted timestamp — is a real
+// behavioural change in the watchdog/FTD pipeline and must be reviewed.
+//
+// To regenerate after an intentional change:
+//   MYRI_REGEN_GOLDEN=1 ./golden_trace_test
+// then commit the updated tests/data/ftgm_recovery_trace.golden.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gm/cluster.hpp"
+#include "sim/trace.hpp"
+
+#ifndef MYRI_GOLDEN_DIR
+#error "MYRI_GOLDEN_DIR must point at the checked-in golden files"
+#endif
+
+namespace myri {
+namespace {
+
+std::string golden_path() {
+  return std::string(MYRI_GOLDEN_DIR) + "/ftgm_recovery_trace.golden";
+}
+
+/// The recorded scene: two FTGM nodes, one verified message each way to
+/// prove liveness, a hang on node 0 mid-run, and enough virtual time for
+/// the full watchdog -> FATAL -> reload -> replay recovery to finish.
+std::string record_recovery_trace() {
+  gm::ClusterConfig cc;
+  cc.nodes = 2;
+  cc.mode = mcp::McpMode::kFtgm;
+  cc.seed = 2003;
+  gm::Cluster cluster(cc);
+
+  std::ostringstream out;
+  sim::Trace t;
+  t.enable(sim::TraceCat::kFt, &out);   // watchdog wakeups, FTD phases
+  t.enable(sim::TraceCat::kMcp, &out);  // the hang itself
+  cluster.set_trace(&t);
+
+  auto& tx = cluster.node(0).open_port(2);
+  auto& rx = cluster.node(1).open_port(3);
+  cluster.run_for(sim::usec(900));
+  rx.provide_receive_buffer(rx.alloc_dma_buffer(256));
+  gm::Buffer b = tx.alloc_dma_buffer(256);
+  tx.send(b, 256, 1, 3);
+  cluster.run_for(sim::msec(1));
+
+  cluster.node(0).mcp().inject_hang("golden");
+  cluster.run_for(sim::sec(3));  // detection + confirmation + recovery
+  return out.str();
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  return lines;
+}
+
+TEST(GoldenTrace, FtgmRecoverySequenceMatchesGolden) {
+  const std::string got = record_recovery_trace();
+
+  if (std::getenv("MYRI_REGEN_GOLDEN") != nullptr) {
+    std::ofstream f(golden_path(), std::ios::trunc);
+    ASSERT_TRUE(f.good()) << "cannot write " << golden_path();
+    f << got;
+    GTEST_SKIP() << "regenerated " << golden_path();
+  }
+
+  std::ifstream f(golden_path());
+  ASSERT_TRUE(f.good())
+      << "missing golden file " << golden_path()
+      << " — run with MYRI_REGEN_GOLDEN=1 to create it";
+  std::ostringstream buf;
+  buf << f.rdbuf();
+
+  const std::vector<std::string> want = lines_of(buf.str());
+  const std::vector<std::string> have = lines_of(got);
+  // Line-by-line diff gives a reviewable failure message, unlike one big
+  // string compare.
+  const std::size_t n = std::min(want.size(), have.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(have[i], want[i]) << "trace diverges at line " << (i + 1);
+    if (have[i] != want[i]) break;
+  }
+  EXPECT_EQ(have.size(), want.size());
+}
+
+TEST(GoldenTrace, RecordingIsDeterministic) {
+  // The premise of the golden file: same seed, same trace, bit for bit.
+  EXPECT_EQ(record_recovery_trace(), record_recovery_trace());
+}
+
+}  // namespace
+}  // namespace myri

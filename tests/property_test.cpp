@@ -4,8 +4,15 @@
 //  3. send/receive token conservation,
 //  4. backup-store consistency,
 //  5. watchdog soundness (no false positives, bounded detection).
+//
+// Invariants 1 and 2 run as fi::Scenario schedules: the declarative form
+// replaces the hand-rolled cluster/workload setup, and the fi::Oracle
+// audits FIFO/exactly-once/tokens/watchdog/metrics continuously during
+// the run on top of the original end-state assertions. Invariants 3-5
+// poke port/MCP internals directly and stay hand-rolled.
 #include <gtest/gtest.h>
 
+#include "faultinject/scenario.hpp"
 #include "faultinject/workload.hpp"
 #include "gm/cluster.hpp"
 
@@ -27,26 +34,25 @@ class ExactlyOnceUnderFaults : public ::testing::TestWithParam<FaultCase> {};
 
 TEST_P(ExactlyOnceUnderFaults, HoldsForSeedAndRates) {
   const FaultCase& fc = GetParam();
-  ClusterConfig cc;
-  cc.nodes = 2;
-  cc.mode = fc.mode;
-  cc.seed = fc.seed;
-  cc.faults = {fc.drop, fc.corrupt, fc.misroute};
-  Cluster cluster(cc);
-  auto& tx = cluster.node(0).open_port(2);
-  auto& rx = cluster.node(1).open_port(3);
-  fi::StreamWorkload::Config wc;
-  wc.total_msgs = 30;
-  wc.msg_len = 3000;
-  fi::StreamWorkload wl(tx, rx, wc);
-  cluster.run_for(sim::usec(900));
-  wl.start();
-  cluster.run_for(sim::msec(400));
-  EXPECT_TRUE(wl.complete()) << "drop=" << fc.drop << " corrupt=" << fc.corrupt
-                             << " misroute=" << fc.misroute
-                             << " seed=" << fc.seed;
-  EXPECT_EQ(wl.duplicates(), 0);
-  EXPECT_EQ(wl.corrupted(), 0);
+  fi::Scenario s;
+  s.seed = fc.seed;
+  s.nodes = 2;
+  s.mode = fc.mode;
+  s.msgs = 30;
+  s.msg_len = 3000;
+  s.drop = fc.drop;
+  s.corrupt = fc.corrupt;
+  s.misroute = fc.misroute;
+  const fi::RunReport r = fi::ScenarioRunner::run(s);
+  EXPECT_FALSE(r.failed())
+      << "drop=" << fc.drop << " corrupt=" << fc.corrupt
+      << " misroute=" << fc.misroute << " seed=" << fc.seed << " — "
+      << r.violation << ": " << r.violation_detail;
+  for (const fi::StreamOutcome& so : r.streams) {
+    EXPECT_TRUE(so.complete);
+    EXPECT_EQ(so.duplicates, 0);
+    EXPECT_EQ(so.corrupted, 0);
+  }
 }
 
 std::vector<FaultCase> fault_matrix() {
@@ -78,27 +84,24 @@ class ExactlyOnceAcrossHang : public ::testing::TestWithParam<HangCase> {};
 
 TEST_P(ExactlyOnceAcrossHang, FtgmRecoversExactlyOnce) {
   const HangCase& hc = GetParam();
-  ClusterConfig cc;
-  cc.nodes = 2;
-  cc.mode = mcp::McpMode::kFtgm;
-  cc.seed = hc.seed;
-  Cluster cluster(cc);
-  auto& tx = cluster.node(0).open_port(2);
-  auto& rx = cluster.node(1).open_port(3);
-  fi::StreamWorkload::Config wc;
-  wc.total_msgs = 25;
-  wc.msg_len = 2500;
-  fi::StreamWorkload wl(tx, rx, wc);
-  cluster.run_for(sim::usec(900));
-  wl.start();
-  cluster.eq().schedule_after(hc.hang_at, [&] {
-    cluster.node(hc.victim).mcp().inject_hang("sweep");
-  });
-  cluster.run_for(sim::sec(4));
-  EXPECT_TRUE(wl.complete())
-      << "victim=" << hc.victim << " at=" << sim::to_usec(hc.hang_at);
-  EXPECT_EQ(wl.duplicates(), 0);
-  EXPECT_EQ(wl.corrupted(), 0);
+  fi::Scenario s;
+  s.seed = hc.seed;
+  s.nodes = 2;
+  s.msgs = 25;
+  s.msg_len = 2500;
+  fi::ScenarioEvent ev;
+  ev.kind = fi::ScenarioEvent::Kind::kNicHang;
+  ev.node = hc.victim;
+  ev.at = fi::Scenario::kWarmup + hc.hang_at;
+  s.events.push_back(ev);
+  const fi::RunReport r = fi::ScenarioRunner::run(s);
+  EXPECT_FALSE(r.failed())
+      << "victim=" << hc.victim << " at=" << sim::to_usec(hc.hang_at)
+      << " — " << r.violation << ": " << r.violation_detail;
+  for (const fi::StreamOutcome& so : r.streams) {
+    EXPECT_EQ(so.duplicates, 0);
+    EXPECT_EQ(so.corrupted, 0);
+  }
 }
 
 std::vector<HangCase> hang_matrix() {
