@@ -36,6 +36,9 @@ struct RunResult {
   double dip_bytes_per_ms = 0;  // worst bin in the 5 ms after the kill
   double recover_ms = 0;        // kill -> first post-stall delivery on an
                                 // affected stream (0->8 crosses the trunk)
+  double converge_us = 0;       // epoch push -> every node acked (mean)
+  std::uint64_t route_epoch = 0;
+  std::uint64_t route_retries = 0;  // MAP_ROUTE chunks re-sent on timeout
   bool complete = false;
   int duplicates = 0;
 };
@@ -99,6 +102,11 @@ RunResult one_run(std::uint64_t seed, metrics::Registry* agg) {
   }
   const auto& remap = cluster.metrics().histogram("fabric.failover.remap_ns");
   r.remap_us = remap.count() > 0 ? remap.mean() / 1000.0 : 0.0;
+  const auto& conv = cluster.metrics().histogram("fabric.route_converge_us");
+  r.converge_us = conv.count() > 0 ? conv.mean() : 0.0;
+  r.route_epoch = static_cast<std::uint64_t>(
+      cluster.metrics().gauge("mapper.route_epoch").value());
+  r.route_retries = cluster.metrics().counter("mapper.map_route_retries").value();
 
   // Bin analysis. Bins [warmup .. kill) give the steady pre-kill rate;
   // the outage window is the 5 ms after the kill.
@@ -141,9 +149,9 @@ int main() {
   std::printf("%d cross-leaf streams of %d x %u B; leaf0-spine0 trunk "
               "killed at %.1f ms\n\n",
               kStreams, bench::scaled(400), kLen, sim::to_msec(kKillAt));
-  std::printf("  %-4s %12s %15s %15s %12s %9s %4s\n", "run", "remap (us)",
-              "pre-kill (B/ms)", "dip (B/ms)", "recover (ms)", "complete",
-              "dup");
+  std::printf("  %-4s %12s %15s %15s %12s %10s %7s %9s %4s\n", "run",
+              "remap (us)", "pre-kill (B/ms)", "dip (B/ms)", "recover (ms)",
+              "conv (us)", "retries", "complete", "dup");
 
   const int kRepeats = bench::scaled(3);
   metrics::Registry agg;
@@ -153,9 +161,11 @@ int main() {
     RunResult r = one_run(7000 + static_cast<std::uint64_t>(rep), &agg);
     results.push_back(r);
     all_ok = all_ok && r.complete && r.duplicates == 0;
-    std::printf("  %-4d %12.1f %15.0f %15.0f %12.1f %9s %4d\n", rep,
-                r.remap_us, r.prekill_bytes_per_ms, r.dip_bytes_per_ms,
-                r.recover_ms, r.complete ? "yes" : "NO", r.duplicates);
+    std::printf("  %-4d %12.1f %15.0f %15.0f %12.1f %10.1f %7llu %9s %4d\n",
+                rep, r.remap_us, r.prekill_bytes_per_ms, r.dip_bytes_per_ms,
+                r.recover_ms, r.converge_us,
+                static_cast<unsigned long long>(r.route_retries),
+                r.complete ? "yes" : "NO", r.duplicates);
   }
 
   // Machine-readable summary: one JSON object per run.
@@ -165,9 +175,13 @@ int main() {
     std::printf("{\"bench\":\"failover\",\"run\":%zu,\"nodes\":%d,"
                 "\"streams\":%d,\"remap_us\":%.1f,"
                 "\"prekill_bytes_per_ms\":%.0f,\"dip_bytes_per_ms\":%.0f,"
-                "\"recover_ms\":%.1f,\"complete\":%s,\"duplicates\":%d}\n",
+                "\"recover_ms\":%.1f,\"converge_us\":%.1f,"
+                "\"route_epoch\":%llu,\"route_retries\":%llu,"
+                "\"complete\":%s,\"duplicates\":%d}\n",
                 i, kNodes, kStreams, r.remap_us, r.prekill_bytes_per_ms,
-                r.dip_bytes_per_ms, r.recover_ms,
+                r.dip_bytes_per_ms, r.recover_ms, r.converge_us,
+                static_cast<unsigned long long>(r.route_epoch),
+                static_cast<unsigned long long>(r.route_retries),
                 r.complete ? "true" : "false", r.duplicates);
   }
   bench::export_registry_json(agg);

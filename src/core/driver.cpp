@@ -22,13 +22,42 @@ void Driver::install(mcp::HostIface* host_iface) {
   mcp_.host_register_page_hash();
 }
 
-void Driver::record_routes(const std::vector<net::RouteEntry>& entries) {
-  for (const auto& e : entries) routes_[e.dst] = e.route;
+std::uint32_t Driver::map_route_update(const net::RouteUpdate& update,
+                                       net::NodeId from) {
+  mapper_node_ = from;
+  if (update.epoch < installed_epoch_) {
+    return installed_epoch_;  // late retransmit from a superseded remap
+  }
+  if (update.epoch > highest_seen_epoch_) highest_seen_epoch_ = update.epoch;
+  if (update.nchunks == 0) {
+    // Epoch probe: no entries. If it named a newer epoch the node is now
+    // suspect (routes_suspect()) until the re-push completes.
+    return installed_epoch_;
+  }
+  // Data chunk: mirror the entries (merged view — routes to nodes the
+  // latest remap could not see survive, matching what the card holds).
+  for (const auto& e : update.entries) routes_[e.dst] = e.route;
+  if (update.epoch > installed_epoch_) {
+    if (chunks_epoch_ != update.epoch) {
+      chunks_epoch_ = update.epoch;
+      chunks_got_.assign(update.nchunks, false);
+    }
+    if (update.chunk < chunks_got_.size()) chunks_got_[update.chunk] = true;
+    bool complete = true;
+    for (const bool got : chunks_got_) complete = complete && got;
+    if (complete) installed_epoch_ = update.epoch;
+  }
+  return installed_epoch_;
 }
 
 void Driver::install_route(net::NodeId dst, std::vector<std::uint8_t> route) {
   routes_[dst] = route;
   nic_.set_route(dst, std::move(route));
+}
+
+void Driver::record_local_epoch(std::uint32_t epoch) {
+  if (epoch > installed_epoch_) installed_epoch_ = epoch;
+  if (epoch > highest_seen_epoch_) highest_seen_epoch_ = epoch;
 }
 
 void Driver::write_magic(std::uint32_t value) {
@@ -60,6 +89,11 @@ void Driver::restart_dma_and_interrupts() {
 
 void Driver::restore_routes() {
   for (const auto& [dst, route] : routes_) nic_.set_route(dst, route);
+  // The mirror restores *an epoch*, not necessarily the current one: tell
+  // the MCP which, and let it announce to the mapper, which re-pushes if
+  // a remap happened while this card was down. Pre-mapper direct installs
+  // (epoch 0) have no mapper to ask and skip the announce.
+  mcp_.host_restore_routes(mapper_node_, installed_epoch_);
 }
 
 }  // namespace myri::core

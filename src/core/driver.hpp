@@ -37,15 +37,39 @@ class Driver {
     wake_ftd_ = std::move(wake);
   }
 
-  // ---- host-side routing-table mirror ----
-  void record_routes(const std::vector<net::RouteEntry>& entries);
+  // ---- host-side routing-table mirror (epoch-versioned view) ----
+  /// Mapper route push or epoch probe arrived (via the MCP). Mirrors the
+  /// entries, tracks per-epoch chunk completeness, and returns the last
+  /// epoch held completely — the MAP_ROUTE_ACK content.
+  std::uint32_t map_route_update(const net::RouteUpdate& update,
+                                 net::NodeId from);
   /// Install a route on the card and mirror it (tests/benches use this to
-  /// configure small fabrics without running the full mapper).
+  /// configure small fabrics without running the full mapper). Direct
+  /// installs live in the pre-mapper world: they never touch the epoch.
   void install_route(net::NodeId dst, std::vector<std::uint8_t> route);
+  /// Mapper-host shortcut: the mapper programs its own card directly and
+  /// stamps the mirror as complete at `epoch`.
+  void record_local_epoch(std::uint32_t epoch);
   [[nodiscard]] const std::unordered_map<net::NodeId,
                                          std::vector<std::uint8_t>>&
   route_mirror() const {
     return routes_;
+  }
+  /// Last route epoch this node holds completely (0 = pre-mapper routes).
+  [[nodiscard]] std::uint32_t route_epoch() const noexcept {
+    return installed_epoch_;
+  }
+  /// True while the node knows a newer epoch exists (a probe or chunk for
+  /// epoch > route_epoch() arrived) but has not finished installing it.
+  /// The GM library refuses sends with kRecovering while this holds, so
+  /// traffic is not launched onto routes a remap already declared dead.
+  [[nodiscard]] bool routes_suspect() const noexcept {
+    return highest_seen_epoch_ > installed_epoch_;
+  }
+  /// The node the mapper runs on, learnt from route pushes (kInvalidNode
+  /// until the first mapper contact).
+  [[nodiscard]] net::NodeId mapper_node() const noexcept {
+    return mapper_node_;
   }
 
   // ---- port management (forwarded to the MCP control path) ----
@@ -77,6 +101,13 @@ class Driver {
   mcp::HostIface* host_iface_ = nullptr;
   std::function<void()> wake_ftd_;
   std::unordered_map<net::NodeId, std::vector<std::uint8_t>> routes_;
+  // Epoch-versioned view of the mapper's table (the single source of
+  // truth lives in mapper::Mapper; this is a per-node shadow of it).
+  std::uint32_t installed_epoch_ = 0;     // last epoch held completely
+  std::uint32_t highest_seen_epoch_ = 0;  // newest epoch heard of
+  net::NodeId mapper_node_ = net::kInvalidNode;
+  std::vector<bool> chunks_got_;          // per-chunk arrival, current push
+  std::uint32_t chunks_epoch_ = 0;        // epoch chunks_got_ tracks
   std::uint64_t fatals_ = 0;
 };
 

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "faultinject/workload.hpp"
+#include "mapper/failover.hpp"
 
 namespace myri::fi {
 
@@ -182,6 +183,29 @@ void Oracle::final_check() {
               "stream " + std::to_string(i) + ": " +
                   std::to_string(s.wl->sender().backup().send_count()) +
                   " send backups outstanding after completion");
+    }
+  }
+  check_route_convergence();
+}
+
+void Oracle::check_route_convergence() {
+  // Every node the mapper's table names must hold the mapper's current
+  // epoch completely once the run quiesced — the control plane promises
+  // retries/scrub/announce eventually repair any lag, so a node still
+  // behind here is a lost-update bug, not latency.
+  if (!ok() || route_authority_ == nullptr) return;
+  const mapper::Mapper& m = route_authority_->mapper();
+  if (m.epoch() == 0) return;  // never mapped: nothing to converge to
+  for (const auto& [node, entries] : m.table()) {
+    (void)entries;
+    if (!ok()) break;
+    if (node >= static_cast<net::NodeId>(cluster_.size())) continue;
+    const std::uint32_t got = cluster_.node(node).route_epoch();
+    if (got != m.epoch()) {
+      violate("route-convergence",
+              cluster_.node(node).name() + ": installed route epoch " +
+                  std::to_string(got) + ", mapper is at " +
+                  std::to_string(m.epoch()));
     }
   }
 }

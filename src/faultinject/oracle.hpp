@@ -17,6 +17,10 @@
 //   quiescence           after all streams complete and the cluster
 //                        drains: all send tokens free, FTGM send backups
 //                        empty (final_check only)
+//   route-convergence    after quiesce, every node in the mapper's table
+//                        holds the mapper's current route epoch
+//                        completely (final_check only; needs a route
+//                        authority, see set_route_authority)
 //
 // The first violation is recorded with its virtual timestamp and checking
 // stops (later checks would cascade). The oracle is deterministic: its
@@ -29,6 +33,10 @@
 
 #include "gm/cluster.hpp"
 #include "sim/time.hpp"
+
+namespace myri::mapper {
+class FailoverManager;
+}  // namespace myri::mapper
 
 namespace myri::fi {
 
@@ -71,6 +79,14 @@ class Oracle {
   /// Run one full invariant sweep right now.
   void check_now();
 
+  /// Route authority for the route-convergence invariant: the mapper
+  /// behind `fm` is the single source of truth for what every node's
+  /// installed epoch must be after quiesce. Optional — schedules without
+  /// a control plane (single-switch fabrics) skip the check.
+  void set_route_authority(const mapper::FailoverManager* fm) {
+    route_authority_ = fm;
+  }
+
   /// End-of-run quiescence checks; call after the cluster drained.
   void final_check();
 
@@ -93,8 +109,10 @@ class Oracle {
   void check_tokens();
   void check_watchdog();
   void check_metrics();
+  void check_route_convergence();
 
   gm::Cluster& cluster_;
+  const mapper::FailoverManager* route_authority_ = nullptr;
   Config cfg_;
   std::vector<Stream> streams_;
   std::vector<Violation> violations_;

@@ -126,15 +126,15 @@ Scenario Scenario::random(std::uint64_t rand_seed) {
     trunks = fb.trunk_cables().size();
   }
 
-  // Cable faults live in their own profile, with lossless links and no
-  // hangs. The reason is a real limitation (tracked in ROADMAP.md), not
-  // squeamishness: MAP_ROUTE distribution is raw/unacknowledged and the
-  // mapper never re-verifies, so a route chunk lost to a lossy link — or
-  // to a hung MCP — strands a node on stale routes forever. Random
-  // schedules that combine cable kills with packet loss or hangs would
-  // therefore fail by design, not by bug.
-  const bool cable_profile = trunks > 0 && rng.bernoulli(0.3);
-  if (!cable_profile && rng.bernoulli(0.5)) {
+  // One mixed profile: cable kills, NIC hangs, lossy links and fault
+  // windows now coexist freely. The old disjoint cable-only profile was a
+  // crutch for raw MAP_ROUTE pushes (a chunk lost to a lossy link or hung
+  // MCP stranded a node on stale routes forever); the epoch/ACK/scrub
+  // control plane repairs those, so mixing is a test of the code, not a
+  // failure by construction. Two constraints keep schedules survivable:
+  // cable events need trunk redundancy, and at most one trunk is down at
+  // any instant (ring and fat-tree presets tolerate exactly one cut).
+  if (rng.bernoulli(0.5)) {
     s.drop = rng.below(11) * 0.01;     // 0 .. 0.10
     s.corrupt = rng.below(9) * 0.01;   // 0 .. 0.08
   }
@@ -143,19 +143,28 @@ Scenario Scenario::random(std::uint64_t rand_seed) {
   // Hangs (and recoveries) serialize at ~1.7 s each; space them out so
   // every one is individually maskable, like the hand-written sweeps did.
   sim::Time hang_slot = kWarmup + sim::usec(rng.below(10'000));
+  // Cable kills serialize too: the next kill waits for the previous
+  // restore, so the fabric never runs with two trunks missing.
+  sim::Time cable_slot = kWarmup + sim::usec(rng.below(5000));
+  bool cable_ok = trunks > 0;
   for (int i = 0; i < n_events; ++i) {
     ScenarioEvent ev;
-    const std::uint64_t pick = rng.below(3);
-    if (cable_profile) {
+    const std::uint64_t pick = rng.below(cable_ok ? 4 : 3);
+    if (pick == 3) {
       ev.kind = ScenarioEvent::Kind::kCableDown;
       ev.cable = static_cast<int>(rng.below(trunks));
-      ev.at = kWarmup + sim::usec(rng.below(5000));
-      if (rng.bernoulli(0.5)) {
+      ev.at = cable_slot;
+      if (rng.bernoulli(0.7)) {
         ScenarioEvent up;
         up.kind = ScenarioEvent::Kind::kCableUp;
         up.cable = ev.cable;
         up.at = ev.at + sim::msec(200 + rng.below(1800));
         s.events.push_back(up);
+        cable_slot = up.at + sim::msec(50 + rng.below(200));
+      } else {
+        // This trunk stays dead: no further kills, or a second cut could
+        // partition the fabric.
+        cable_ok = false;
       }
     } else if (pick != 2) {
       ev.kind = ScenarioEvent::Kind::kNicHang;
@@ -242,6 +251,7 @@ RunReport ScenarioRunner::run(const Scenario& s, const Options& opt) {
   }
 
   Oracle oracle(cluster, Oracle::Config{opt.check_gap});
+  oracle.set_route_authority(fm.get());
   std::uint64_t digest = kFnvOffset;
   std::uint64_t deliveries = 0;
   std::vector<bool> dup_next(wls.size(), false);
@@ -375,6 +385,9 @@ RunReport ScenarioRunner::run(const Scenario& s, const Options& opt) {
       gm::Node& n = cluster.node(j);
       quiet = !n.mcp().hung() && !(n.has_ftd() && n.ftd().busy());
     }
+    // Route control plane must settle too: the convergence invariant is
+    // only fair to check once retries/scrub had their chance to land.
+    quiet = quiet && (fm == nullptr || fm->settled());
     if (quiet) break;
   }
   oracle.final_check();

@@ -70,12 +70,23 @@ class Node final : public mcp::HostIface {
     return driver_.route_mirror().count(dst) != 0;
   }
 
+  /// True while this node knows a newer route epoch exists than the one
+  /// it holds. Port::post() returns kRecovering until the re-push lands.
+  [[nodiscard]] bool routes_stale() const {
+    return driver_.routes_suspect();
+  }
+  /// Last route epoch this node holds completely (0 = pre-mapper routes).
+  [[nodiscard]] std::uint32_t route_epoch() const {
+    return driver_.route_epoch();
+  }
+
   // ---- mcp::HostIface ----
   void post_event(std::uint8_t port, const mcp::EventRecord& ev) override;
   std::optional<host::DmaAddr> translate(std::uint8_t port,
                                          std::uint64_t vaddr) override;
-  void routes_updated(const std::vector<net::RouteEntry>& entries) override {
-    driver_.record_routes(entries);
+  std::uint32_t map_route_update(const net::RouteUpdate& update,
+                                 net::NodeId from) override {
+    return driver_.map_route_update(update, from);
   }
 
   // ---- component access ----

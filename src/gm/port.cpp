@@ -71,6 +71,10 @@ Status Port::submit_send(const Buffer& buf, std::uint32_t len,
     return Status::kInvalidArg;
   }
   if (recovering_) return Status::kRecovering;
+  // A remap declared this node's installed routes stale and the fresh
+  // epoch has not fully landed yet: refuse instead of launching onto a
+  // route that may cross a dead trunk (callers back off and retry).
+  if (node_.routes_stale()) return Status::kRecovering;
   if (!node_.has_route(req.dst)) return Status::kUnreachable;
   if (send_tokens_free_ == 0) return Status::kNoSendToken;
   --send_tokens_free_;
@@ -123,6 +127,7 @@ Status Port::get_with_callback(const Buffer& local, std::uint32_t len,
     return Status::kInvalidArg;
   }
   if (recovering_) return Status::kRecovering;
+  if (node_.routes_stale()) return Status::kRecovering;
   if (!node_.has_route(dst)) return Status::kUnreachable;
   mcp::GetRequest g;
   g.port = id_;

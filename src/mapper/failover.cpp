@@ -1,5 +1,6 @@
 #include "mapper/failover.hpp"
 
+#include <algorithm>
 #include <vector>
 
 namespace myri::mapper {
@@ -24,14 +25,26 @@ FailoverManager::FailoverManager(gm::Cluster& cluster, Config cfg)
   remaps_failed_ = &reg.counter("fabric.failover.failed_remaps");
   remap_ns_ = &reg.histogram("fabric.failover.remap_ns");
   route_len_ = &reg.histogram("fabric.route_len_hops", route_len_bounds());
+  mapper_.bind_metrics(reg);
   cluster_.topo().set_cable_listener(
       [this](net::Topology::CableId id, bool down) {
         on_cable_event(id, down);
       });
+  // A node the current map does not contain announced itself (it was hung
+  // through discovery and just recovered): fold it back in with a remap.
+  mapper_.set_on_node_returned([this](net::NodeId) {
+    remap_retries_ = 0;
+    request_remap();
+  });
 }
 
 void FailoverManager::on_cable_event(net::Topology::CableId, bool) {
   metrics::bump(cable_events_);
+  remap_retries_ = 0;  // fresh external trigger: fresh retry budget
+  request_remap();
+}
+
+void FailoverManager::request_remap() {
   if (running_) {
     // Routes computed from the pre-event map may already be stale when
     // they land; queue exactly one follow-up remap.
@@ -70,9 +83,20 @@ void FailoverManager::finish_remap(bool ok) {
     ++remaps_;
     metrics::bump(remaps_ok_);
     record_route_lengths();
+    if (mapper_.interfaces().size() >=
+        static_cast<std::size_t>(cluster_.size())) {
+      remap_retries_ = 0;
+    } else if (!rerun_) {
+      // Short map: a node the cluster owns did not answer its scout (hung
+      // card, probe lost to a lossy window). Its old routes stay installed
+      // everywhere, but a remap is the only way to fold it back in.
+      schedule_remap_retry();
+    }
+    if (!mapper_.converged()) arm_scrub();
   } else {
     ++failed_;
     metrics::bump(remaps_failed_);
+    if (!rerun_) schedule_remap_retry();
   }
   if (rerun_) {
     rerun_ = false;
@@ -85,6 +109,43 @@ void FailoverManager::finish_remap(bool ok) {
     user_done_ = nullptr;
     cb(ok);
   }
+}
+
+void FailoverManager::schedule_remap_retry() {
+  if (retry_pending_ || remap_retries_ >= cfg_.max_remap_retries) return;
+  retry_pending_ = true;
+  const sim::Time wait = cfg_.remap_retry_backoff
+                         << std::min<std::uint32_t>(remap_retries_, 3);
+  ++remap_retries_;
+  cluster_.eq().schedule_after(wait, [this] {
+    retry_pending_ = false;
+    if (running_ || pending_) return;  // something else already remapping
+    trigger_time_ = cluster_.eq().now();
+    start_remap();
+  });
+}
+
+void FailoverManager::arm_scrub() {
+  if (scrub_armed_) return;
+  scrub_armed_ = true;
+  cluster_.eq().schedule_after(cfg_.scrub_interval, [this] {
+    scrub_armed_ = false;
+    if (mapper_.epoch() == 0) return;
+    if (running_ || pending_) {
+      arm_scrub();  // remap in flight; re-check after it lands
+      return;
+    }
+    if (mapper_.converged() && mapper_.distribution_idle()) return;
+    mapper_.scrub();
+    arm_scrub();
+  });
+}
+
+bool FailoverManager::settled() const {
+  if (running_ || pending_ || retry_pending_) return false;
+  if (!mapper_.distribution_idle()) return false;
+  return mapper_.epoch() == 0 || mapper_.converged() ||
+         remap_retries_ >= cfg_.max_remap_retries;
 }
 
 void FailoverManager::record_route_lengths() {

@@ -2,16 +2,31 @@
 //
 // Watches the fabric for cable state changes and re-runs the GM mapper
 // from a home node whenever one fires: the fabric is re-discovered, fresh
-// route tables are distributed to every card, and in-flight GM traffic
-// resumes on the surviving paths without application changes (Go-Back-N
-// pushes the stalled window through the new routes). Failover latency and
-// post-remap route lengths are published through the cluster's
-// metrics::Registry:
+// route tables are distributed to every card under a new route epoch, and
+// in-flight GM traffic resumes on the surviving paths without application
+// changes (Go-Back-N pushes the stalled window through the new routes).
+//
+// On top of the raw remap trigger this owns the control plane's repair
+// loops:
+//   - a slow periodic scrub that probes the installed epoch of every node
+//     still lagging the current one (re-verify; real GM's remapping-scout
+//     analogue) until the fabric converges,
+//   - retrying remaps that failed or came back short (the mapper host's
+//     own card hung, scouts lost to a lossy window) with bounded backoff,
+//   - remapping when a node absent from the current map announces itself
+//     after FTD recovery (it was hung through discovery).
+//
+// Failover latency, post-remap route lengths and control-plane telemetry
+// are published through the cluster's metrics::Registry:
 //   fabric.cable_events            cable up/down transitions seen
 //   fabric.failover.remaps         remaps completed ok
 //   fabric.failover.failed_remaps  remaps that found nothing
 //   fabric.failover.remap_ns       cable event -> routes distributed
 //   fabric.route_len_hops          route length per reachable pair
+//   mapper.route_epoch             current route epoch (gauge)
+//   mapper.map_route_retries       MAP_ROUTE chunks re-sent on ack timeout
+//   mapper.scrub_repairs           full-table re-pushes to lagging nodes
+//   fabric.route_converge_us       epoch push -> every node acked
 #pragma once
 
 #include <cstdint>
@@ -32,6 +47,14 @@ class FailoverManager {
     /// or running fold into one follow-up remap instead of stacking.
     sim::Time debounce = sim::usec(100);
     int home_node = 0;  // the node the mapper runs on
+    /// Scrub cadence while any mapped node lags the current epoch. The
+    /// timer stops once the fabric converges so an idle cluster's event
+    /// queue still drains (virtual time has no background noise).
+    sim::Time scrub_interval = sim::msec(50);
+    /// Backoff base for retrying failed/short remaps (doubles, capped).
+    sim::Time remap_retry_backoff = sim::msec(100);
+    /// Retry budget for failed/short remaps per external trigger.
+    std::uint32_t max_remap_retries = 8;
   };
 
   /// Registers itself as the topology's cable listener. Must outlive the
@@ -51,10 +74,23 @@ class FailoverManager {
   [[nodiscard]] bool remap_in_progress() const noexcept { return running_; }
   [[nodiscard]] const Mapper& mapper() const noexcept { return mapper_; }
 
+  /// True when every node in the mapper's table acked the current epoch.
+  [[nodiscard]] bool converged() const { return mapper_.converged(); }
+  /// Control plane fully settled: nothing running, pending or retrying,
+  /// and the fabric converged (or there is nothing to converge to).
+  [[nodiscard]] bool settled() const;
+  /// Run one scrub pass immediately (tests / out-of-band verification).
+  void scrub_now() { mapper_.scrub(); }
+  /// Forward kMapper tracing to the owned mapper.
+  void set_trace(sim::Trace* t) { mapper_.set_trace(t); }
+
  private:
   void on_cable_event(net::Topology::CableId id, bool down);
+  void request_remap();
   void start_remap();
   void finish_remap(bool ok);
+  void schedule_remap_retry();
+  void arm_scrub();
   void record_route_lengths();
 
   gm::Cluster& cluster_;
@@ -63,6 +99,9 @@ class FailoverManager {
   bool pending_ = false;  // debounce timer armed
   bool running_ = false;  // mapper run in flight
   bool rerun_ = false;    // events arrived mid-run: go again
+  bool scrub_armed_ = false;
+  bool retry_pending_ = false;  // failed/short-remap retry scheduled
+  std::uint32_t remap_retries_ = 0;
   sim::Time trigger_time_ = 0;
   std::uint64_t remaps_ = 0;
   std::uint64_t failed_ = 0;

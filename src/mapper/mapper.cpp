@@ -2,16 +2,40 @@
 
 #include <algorithm>
 #include <deque>
+#include <utility>
 
 namespace myri::mapper {
 
 namespace {
+
 constexpr std::uint32_t vertex_key(net::DeviceKind k, std::uint16_t id) {
   return static_cast<std::uint32_t>(k) << 16 | id;
 }
+
+/// MAP_ROUTE payloads are bounded by the packet size; chunk the table.
+constexpr std::size_t kChunk = 40;
+
+std::vector<std::uint64_t> converge_us_bounds() {
+  // Convergence is dominated by ack round trips and retry backoff: tens
+  // of microseconds on a quiet fabric, tens of milliseconds when chunks
+  // are being retried into a lossy window.
+  return {50, 100, 200, 500, 1000, 2000, 5000, 10000, 20000, 50000};
+}
+
 }  // namespace
 
-Mapper::Mapper(gm::Node& home, Config cfg) : home_(home), cfg_(cfg) {}
+Mapper::Mapper(gm::Node& home, Config cfg) : home_(home), cfg_(cfg) {
+  // The handler survives MCP reloads, so it is safe to install once: the
+  // mapper host keeps receiving scout replies, chunk acks and announces
+  // even across its own card's recovery.
+  home_.mcp().set_map_reply_handler([this](const net::Packet& pkt) {
+    if (pkt.type == net::PacketType::kMapRouteAck) {
+      on_route_ack(pkt);
+    } else {
+      on_reply(pkt);
+    }
+  });
+}
 
 void Mapper::run(std::function<void(bool)> done) {
   done_ = std::move(done);
@@ -19,9 +43,6 @@ void Mapper::run(std::function<void(bool)> done) {
   pending_.clear();
   running_ = true;
   ++stats_.runs;
-
-  home_.mcp().set_map_reply_handler(
-      [this](const net::Packet& pkt) { on_reply(pkt); });
 
   // Seed the graph with the mapper's own interface.
   DeviceInfo self;
@@ -103,7 +124,11 @@ void Mapper::on_reply(const net::Packet& pkt) {
 void Mapper::finish_discovery() {
   running_ = false;
   if (num_switches() == 0 || interfaces().empty()) {
-    if (done_) done_(false);
+    if (done_) {
+      auto cb = std::move(done_);
+      done_ = nullptr;
+      cb(false);
+    }
     return;
   }
   compute_and_distribute();
@@ -192,11 +217,32 @@ std::optional<std::vector<std::uint8_t>> Mapper::route_between(
   return it->second;
 }
 
+// --------------------------------------------------------------------------
+// Epoch-versioned distribution
+// --------------------------------------------------------------------------
+
 void Mapper::compute_and_distribute() {
+  ++epoch_;
+  if (m_epoch_) m_epoch_->set(epoch_);
+  table_.clear();
+  home_route_.clear();
+  dist_.clear();
+  converged_.clear();
+  converge_observed_ = false;
+  distributing_ = true;
+  dist_start_ = home_.event_queue().now();
+
   const std::vector<net::NodeId> ifaces = interfaces();
   const auto home_routes =
       routes_from(vertex_key(net::DeviceKind::kInterface, home_.id()));
+  for (net::NodeId x : ifaces) {
+    auto hit = home_routes.find(vertex_key(net::DeviceKind::kInterface, x));
+    if (hit != home_routes.end()) home_route_[x] = hit->second;
+  }
 
+  // Build the whole table before distributing anything: mark_converged's
+  // "everyone acked" check walks table_, so a partially built table would
+  // declare convergence the moment the home node self-installs.
   for (net::NodeId x : ifaces) {
     const auto routes = routes_from(vertex_key(net::DeviceKind::kInterface, x));
     std::vector<net::RouteEntry> entries;
@@ -205,37 +251,227 @@ void Mapper::compute_and_distribute() {
       auto rit = routes.find(vertex_key(net::DeviceKind::kInterface, y));
       if (rit != routes.end()) entries.push_back({y, rit->second});
     }
+    table_[x] = std::move(entries);
+  }
+  for (const auto& [x, entries] : table_) {
     if (x == home_.id()) {
-      // Local install: the mapper host programs its own card directly.
+      // Local install: the mapper host programs its own card directly and
+      // stamps its driver shadow as complete at this epoch.
       for (const auto& e : entries) {
         home_.install_route(e.dst, e.route);
       }
+      home_.driver().record_local_epoch(epoch_);
+      mark_converged(x);
       continue;
     }
-    auto hit = home_routes.find(vertex_key(net::DeviceKind::kInterface, x));
-    if (hit == home_routes.end()) continue;
-    // MAP_ROUTE payloads are bounded by the packet size; chunk the table.
-    constexpr std::size_t kChunk = 40;
-    for (std::size_t i = 0; i < entries.size(); i += kChunk) {
-      std::vector<net::RouteEntry> chunk(
-          entries.begin() + static_cast<std::ptrdiff_t>(i),
-          entries.begin() +
-              static_cast<std::ptrdiff_t>(std::min(i + kChunk,
-                                                   entries.size())));
-      net::Packet pkt;
-      pkt.type = net::PacketType::kMapRoute;
-      pkt.src = home_.id();
-      pkt.dst = x;
-      pkt.route = hit->second;
-      pkt.payload = net::encode_route_update(chunk);
-      pkt.seal();
-      ++stats_.route_packets;
-      home_.mcp().send_raw(std::move(pkt));
-    }
+    if (home_route_.count(x) != 0) start_distribution(x);
   }
-  home_.event_queue().schedule_after(cfg_.settle, [this] {
-    if (done_) done_(true);
+  trace("epoch " + std::to_string(epoch_) + ": routes for " +
+        std::to_string(table_.size()) + " node(s), " +
+        std::to_string(dist_.size()) + " remote push(es)");
+  check_distribution_done();
+}
+
+void Mapper::start_distribution(net::NodeId x) {
+  converged_.erase(x);
+  const std::vector<net::RouteEntry>& entries = table_[x];
+  Distribution d;
+  for (std::size_t i = 0; i < entries.size(); i += kChunk) {
+    d.chunks.emplace_back(
+        entries.begin() + static_cast<std::ptrdiff_t>(i),
+        entries.begin() +
+            static_cast<std::ptrdiff_t>(std::min(i + kChunk, entries.size())));
+  }
+  if (d.chunks.empty()) d.chunks.emplace_back();  // empty table still acks
+  d.acked.assign(d.chunks.size(), false);
+  d.gen = ++dist_gen_;
+  auto [it, ignored] = dist_.insert_or_assign(x, std::move(d));
+  for (std::size_t i = 0; i < it->second.chunks.size(); ++i) {
+    send_chunk(x, it->second, i);
+  }
+  arm_retry(x);
+}
+
+void Mapper::push_routes(net::NodeId x) {
+  if (table_.count(x) == 0 || home_route_.count(x) == 0) return;
+  if (dist_.count(x) != 0) return;  // push already in flight
+  ++stats_.repushes;
+  metrics::bump(m_scrub_repairs_);
+  trace("node " + std::to_string(x) + ": re-push @ epoch " +
+        std::to_string(epoch_));
+  start_distribution(x);
+}
+
+void Mapper::send_chunk(net::NodeId x, const Distribution& d, std::size_t i) {
+  auto rit = home_route_.find(x);
+  if (rit == home_route_.end()) return;
+  net::Packet pkt;
+  pkt.type = net::PacketType::kMapRoute;
+  pkt.src = home_.id();
+  pkt.dst = x;
+  pkt.route = rit->second;
+  net::RouteUpdate u;
+  u.epoch = epoch_;
+  u.chunk = static_cast<std::uint16_t>(i);
+  u.nchunks = static_cast<std::uint16_t>(d.chunks.size());
+  u.entries = d.chunks[i];
+  pkt.payload = u.encode();
+  pkt.seal();
+  ++stats_.route_packets;
+  home_.mcp().send_raw(std::move(pkt));
+}
+
+void Mapper::arm_retry(net::NodeId x) {
+  const auto it = dist_.find(x);
+  if (it == dist_.end()) return;
+  const std::uint64_t gen = it->second.gen;
+  // Bounded exponential backoff: 1x, 2x, 4x ... 32x the base timeout.
+  const sim::Time wait =
+      cfg_.ack_timeout << std::min<std::uint32_t>(it->second.round, 5);
+  home_.event_queue().schedule_after(wait, [this, x, gen] {
+    auto dit = dist_.find(x);
+    if (dit == dist_.end() || dit->second.gen != gen) return;  // superseded
+    Distribution& d = dit->second;
+    if (d.round >= cfg_.max_ack_retries) {
+      // Retry budget exhausted: leave the node to scrub/announce repair
+      // so a single dead card cannot wedge the remap forever.
+      trace("node " + std::to_string(x) +
+            ": ack retries exhausted, leaving to scrub");
+      dist_.erase(dit);
+      check_distribution_done();
+      return;
+    }
+    ++d.round;
+    std::size_t resent = 0;
+    for (std::size_t i = 0; i < d.chunks.size(); ++i) {
+      if (d.acked[i]) continue;
+      ++stats_.route_retries;
+      metrics::bump(m_retries_);
+      send_chunk(x, d, i);
+      ++resent;
+    }
+    trace("node " + std::to_string(x) + ": retry round " +
+          std::to_string(d.round) + " (" + std::to_string(resent) +
+          " chunk(s))");
+    arm_retry(x);
   });
+}
+
+void Mapper::on_route_ack(const net::Packet& pkt) {
+  const net::RouteAck a = net::RouteAck::decode(pkt.payload);
+  const net::NodeId node = pkt.src;
+  ++stats_.route_acks;
+
+  auto it = dist_.find(node);
+  if (it != dist_.end() && a.epoch == epoch_ &&
+      a.chunk != net::kProbeChunk && a.chunk < it->second.acked.size()) {
+    it->second.acked[a.chunk] = true;
+  }
+  const bool all_acked =
+      it != dist_.end() &&
+      std::all_of(it->second.acked.begin(), it->second.acked.end(),
+                  [](bool b) { return b; });
+  if (a.installed_epoch >= epoch_ || all_acked) {
+    dist_.erase(node);
+    mark_converged(node);
+    check_distribution_done();
+    return;
+  }
+  // The node is behind the current epoch.
+  if (dist_.count(node) != 0) return;     // push in flight: retries cover it
+  if (converged_.count(node) != 0) return;  // stale ack from an older push
+  if (table_.count(node) != 0) {
+    // Scrub probe or announce found a laggard the map knows: repair it.
+    push_routes(node);
+  } else if (a.announce && on_node_returned_) {
+    // A node the current map never saw (hung through discovery) is back:
+    // only a remap can fold it in again.
+    trace("node " + std::to_string(node) + ": announced installed epoch " +
+          std::to_string(a.installed_epoch) + ", not in map -> remap");
+    on_node_returned_(node);
+  }
+}
+
+void Mapper::mark_converged(net::NodeId x) {
+  if (!converged_.insert(x).second || converge_observed_) return;
+  for (const auto& [node, entries] : table_) {
+    if (converged_.count(node) == 0) return;
+  }
+  converge_observed_ = true;
+  trace("epoch " + std::to_string(epoch_) + " converged");
+  metrics::observe(m_converge_us_,
+                   (home_.event_queue().now() - dist_start_) / 1000);
+}
+
+void Mapper::check_distribution_done() {
+  if (!distributing_ || !dist_.empty()) return;
+  distributing_ = false;
+  // Fire asynchronously: run()'s contract is that done() never re-enters
+  // the caller's stack (the old settle timer behaved the same way).
+  home_.event_queue().schedule_after(0, [this] {
+    if (done_) {
+      auto cb = std::move(done_);
+      done_ = nullptr;
+      cb(true);
+    }
+  });
+}
+
+bool Mapper::converged() const {
+  for (const auto& [node, entries] : table_) {
+    if (converged_.count(node) == 0) return false;
+  }
+  return true;
+}
+
+std::vector<net::NodeId> Mapper::stale_nodes() const {
+  std::vector<net::NodeId> out;
+  for (const auto& [node, entries] : table_) {
+    if (converged_.count(node) == 0) out.push_back(node);
+  }
+  return out;
+}
+
+void Mapper::scrub() {
+  if (epoch_ == 0) return;
+  std::size_t probes = 0;
+  for (const auto& [x, entries] : table_) {
+    if (x == home_.id() || converged_.count(x) != 0 || dist_.count(x) != 0) {
+      continue;
+    }
+    auto rit = home_route_.find(x);
+    if (rit == home_route_.end()) continue;
+    net::Packet pkt;
+    pkt.type = net::PacketType::kMapRoute;
+    pkt.src = home_.id();
+    pkt.dst = x;
+    pkt.route = rit->second;
+    pkt.payload = net::RouteUpdate{epoch_, 0, 0, {}}.encode();
+    pkt.seal();
+    ++stats_.scrub_probes;
+    ++probes;
+    home_.mcp().send_raw(std::move(pkt));
+  }
+  if (probes > 0) {
+    trace("scrub: " + std::to_string(probes) + " probe(s) @ epoch " +
+          std::to_string(epoch_));
+  }
+}
+
+void Mapper::trace(const std::string& msg) const {
+  if (trace_ != nullptr && trace_->on(sim::TraceCat::kMapper)) {
+    trace_->log(sim::TraceCat::kMapper, home_.event_queue().now(), "mapper",
+                msg);
+  }
+}
+
+void Mapper::bind_metrics(metrics::Registry& reg) {
+  m_epoch_ = &reg.gauge("mapper.route_epoch");
+  m_retries_ = &reg.counter("mapper.map_route_retries");
+  m_scrub_repairs_ = &reg.counter("mapper.scrub_repairs");
+  m_converge_us_ =
+      &reg.histogram("fabric.route_converge_us", converge_us_bounds());
+  if (epoch_ > 0) m_epoch_->set(epoch_);
 }
 
 }  // namespace myri::mapper

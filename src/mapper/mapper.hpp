@@ -8,19 +8,32 @@
 // pair of interfaces and distributes per-node route tables with MAP_ROUTE
 // packets. Re-running it remaps a changed fabric, mirroring GM's behaviour
 // when links or nodes appear or disappear.
+//
+// The mapper owns the route control plane's single source of truth: every
+// successful run bumps a monotonically increasing *route epoch* stamped
+// into each MAP_ROUTE chunk. Distribution is reliable — the receiving card
+// answers every chunk with a MAP_ROUTE_ACK carrying the last epoch it
+// holds completely, and unacked chunks are re-sent with bounded
+// exponential backoff. Nodes that stay behind (hung through the remap,
+// chunks lost beyond the retry budget) are repaired later: by scrub()
+// epoch probes, or by the announce a recovered node sends when its driver
+// restores a mapper-learnt table (see DESIGN.md section 11).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "gm/node.hpp"
+#include "metrics/registry.hpp"
 #include "net/map_info.hpp"
 #include "net/packet.hpp"
 #include "sim/time.hpp"
+#include "sim/trace.hpp"
 
 namespace myri::mapper {
 
@@ -47,23 +60,31 @@ struct MapperStats {
   std::uint64_t scouts_sent = 0;
   std::uint64_t replies = 0;
   std::uint64_t timeouts = 0;
-  std::uint64_t route_packets = 0;
+  std::uint64_t route_packets = 0;  // MAP_ROUTE chunks sent (incl. resends)
   std::uint64_t runs = 0;
+  std::uint64_t route_acks = 0;     // MAP_ROUTE_ACKs received
+  std::uint64_t route_retries = 0;  // chunks re-sent after an ack timeout
+  std::uint64_t repushes = 0;       // full-table re-pushes (scrub/announce)
+  std::uint64_t scrub_probes = 0;   // epoch probes sent by scrub()
 };
 
 class Mapper {
  public:
   struct Config {
     sim::Time scout_timeout = sim::usec(300);
-    sim::Time settle = sim::usec(100);  // let MAP_ROUTE packets land
-    std::size_t max_depth = 16;         // probe route length bound
+    std::size_t max_depth = 16;  // probe route length bound
+    /// Initial MAP_ROUTE_ACK wait; doubles per retry round (capped).
+    sim::Time ack_timeout = sim::usec(400);
+    /// Retry rounds before a node is left to scrub/announce repair.
+    std::uint32_t max_ack_retries = 6;
   };
 
   explicit Mapper(gm::Node& home) : Mapper(home, Config()) {}
   Mapper(gm::Node& home, Config cfg);
 
-  /// Discover + compute + distribute. `done(ok)` fires once the route
-  /// tables have been delivered (ok=false if discovery found nothing).
+  /// Discover + compute + distribute. `done(ok)` fires once every reachable
+  /// node has acknowledged the new epoch or exhausted its retry budget
+  /// (ok=false if discovery found nothing).
   void run(std::function<void(bool)> done);
 
   // ---- results ----
@@ -81,6 +102,43 @@ class Mapper {
   routes_from_interface(net::NodeId a) const;
   [[nodiscard]] const MapperStats& stats() const noexcept { return stats_; }
 
+  // ---- route control plane (single source of truth) ----
+  /// Current route epoch; bumped by every successful run. 0 = never ran.
+  [[nodiscard]] std::uint32_t epoch() const noexcept { return epoch_; }
+  /// Per-node route tables of the current epoch, keyed by interface id.
+  [[nodiscard]] const std::map<net::NodeId, std::vector<net::RouteEntry>>&
+  table() const noexcept {
+    return table_;
+  }
+  /// True when every node in table() has acknowledged the current epoch.
+  [[nodiscard]] bool converged() const;
+  /// Nodes in table() that have not acknowledged the current epoch.
+  [[nodiscard]] std::vector<net::NodeId> stale_nodes() const;
+  /// True while ACK-tracked chunk pushes (or their retries) are in flight.
+  [[nodiscard]] bool distribution_idle() const noexcept {
+    return dist_.empty();
+  }
+  /// Re-send node `x`'s full table at the current epoch, ACK-tracked.
+  void push_routes(net::NodeId x);
+  /// Probe the installed epoch of every unconverged node (the slow
+  /// re-verify pass; FailoverManager runs it periodically). A probe ack
+  /// showing a stale epoch triggers push_routes() for that node.
+  void scrub();
+
+  /// Publish control-plane telemetry: mapper.route_epoch (gauge),
+  /// mapper.map_route_retries, mapper.scrub_repairs (counters) and
+  /// fabric.route_converge_us (histogram: epoch push -> all nodes acked).
+  void bind_metrics(metrics::Registry& reg);
+  /// Fires when a node absent from the current map announces itself
+  /// (post-recovery): the fabric has more in it than the map says, so the
+  /// owner should schedule a remap.
+  void set_on_node_returned(std::function<void(net::NodeId)> cb) {
+    on_node_returned_ = std::move(cb);
+  }
+  /// Emit kMapper trace lines for epoch pushes, retries, repairs and
+  /// convergence (golden-trace tests pin the distribution protocol).
+  void set_trace(sim::Trace* t) { trace_ = t; }
+
  private:
   struct PendingScout {
     std::vector<std::uint8_t> route;
@@ -88,14 +146,29 @@ class Mapper {
     std::uint8_t out_port = 0;            // port used at the parent
   };
 
+  /// ACK-tracked chunk push to one node (current epoch).
+  struct Distribution {
+    std::vector<std::vector<net::RouteEntry>> chunks;
+    std::vector<bool> acked;
+    std::uint32_t round = 0;  // retry rounds used
+    std::uint64_t gen = 0;    // invalidates retry timers of older pushes
+  };
+
   void send_scout(std::vector<std::uint8_t> route,
                   std::optional<std::uint32_t> parent, std::uint8_t out_port);
   void on_reply(const net::Packet& pkt);
-  void scout_done(std::uint32_t scout_id);
   void finish_discovery();
   void compute_and_distribute();
   [[nodiscard]] std::map<std::uint32_t, std::vector<std::uint8_t>>
   routes_from(std::uint32_t src_key) const;
+
+  void start_distribution(net::NodeId x);
+  void send_chunk(net::NodeId x, const Distribution& d, std::size_t i);
+  void arm_retry(net::NodeId x);
+  void on_route_ack(const net::Packet& pkt);
+  void mark_converged(net::NodeId x);
+  void check_distribution_done();
+  void trace(const std::string& msg) const;
 
   gm::Node& home_;
   Config cfg_;
@@ -104,6 +177,25 @@ class Mapper {
   std::map<std::uint32_t, PendingScout> pending_;  // scout id -> context
   std::uint32_t next_scout_ = 1;
   bool running_ = false;
+
+  std::uint32_t epoch_ = 0;
+  std::map<net::NodeId, std::vector<net::RouteEntry>> table_;
+  /// Home's source route to each node of the current epoch (chunk/probe
+  /// transport; pushes must not depend on the stale installed table).
+  std::map<net::NodeId, std::vector<std::uint8_t>> home_route_;
+  std::map<net::NodeId, Distribution> dist_;
+  std::set<net::NodeId> converged_;
+  std::uint64_t dist_gen_ = 0;
+  sim::Time dist_start_ = 0;
+  bool distributing_ = false;
+  bool converge_observed_ = false;
+
+  std::function<void(net::NodeId)> on_node_returned_;
+  sim::Trace* trace_ = nullptr;
+  metrics::Gauge* m_epoch_ = nullptr;
+  metrics::Counter* m_retries_ = nullptr;
+  metrics::Counter* m_scrub_repairs_ = nullptr;
+  metrics::Histogram* m_converge_us_ = nullptr;
   MapperStats stats_;
 };
 

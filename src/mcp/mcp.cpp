@@ -61,6 +61,7 @@ void Mcp::load() {
   dma_active_ = false;
   rto_scan_armed_ = false;
   rx_handler_pending_ = false;
+  route_epoch_ = 0;  // card reset wiped the table; driver restore re-seeds
 
   lanai::Nic::Hooks hooks;
   hooks.on_hdma_done = [this] {
@@ -656,6 +657,7 @@ void Mcp::on_packet() {
       case net::PacketType::kMapScout:
       case net::PacketType::kMapReply:
       case net::PacketType::kMapRoute:
+      case net::PacketType::kMapRouteAck:
         handle_map_packet(std::move(pkt));
         break;
       case net::PacketType::kControl:
@@ -1029,7 +1031,37 @@ void Mcp::send_raw(net::Packet pkt) {
        });
 }
 
+void Mcp::host_restore_routes(net::NodeId mapper_node, std::uint32_t epoch) {
+  route_epoch_ = epoch;
+  if (epoch == 0 || mapper_node == net::kInvalidNode) return;
+  // Mapper-learnt routes: announce the restored epoch so the mapper can
+  // re-push if a remap happened while this card was down. The announce
+  // rides the just-restored route table; if it is lost (or that route is
+  // itself stale), the mapper's scrub probes repair the node instead.
+  net::Packet ann;
+  ann.type = net::PacketType::kMapRouteAck;
+  ann.src = nic_.node_id();
+  ann.dst = mapper_node;
+  ann.payload =
+      net::RouteAck{epoch, net::kProbeChunk, epoch, /*announce=*/true}
+          .encode();
+  ann.seal();
+  if (hung_ || !loaded_) return;
+  exec(cfg_.timing.lanai.dispatch_overhead,
+       [this, ann = std::move(ann)]() mutable {
+         nic_.send_packet(std::move(ann), /*resolve_route=*/true);
+       });
+}
+
 void Mcp::handle_map_packet(net::Packet pkt) {
+  // Mapper packets carry no sequence numbers: a corrupted one cannot be
+  // NACKed, only dropped (the mapper's timeout/retry machinery re-sends).
+  // Installing a bit-flipped route would silently misroute data traffic.
+  if (!pkt.intact()) {
+    ++stats_.crc_drops;
+    metrics::bump(m_.crc_drops);
+    return;
+  }
   switch (pkt.type) {
     case net::PacketType::kMapScout: {
       net::Packet reply;
@@ -1049,13 +1081,43 @@ void Mcp::handle_map_packet(net::Packet pkt) {
       if (map_reply_handler_) map_reply_handler_(pkt);
       break;
     case net::PacketType::kMapRoute: {
-      auto entries = net::decode_route_update(pkt.payload);
-      if (host_) host_->routes_updated(entries);
-      for (auto& e : entries) {
-        nic_.set_route(e.dst, std::move(e.route));
+      if (drop_map_routes_ > 0) {
+        --drop_map_routes_;  // injected control-plane loss (test hook)
+        break;
       }
+      const net::RouteUpdate u = net::RouteUpdate::decode(pkt.payload);
+      // Install unless the chunk is from an epoch older than what this
+      // card already holds (a late retransmit racing a newer remap).
+      if (u.epoch >= route_epoch_) {
+        for (const auto& e : u.entries) {
+          nic_.set_route(e.dst, e.route);
+        }
+        if (u.nchunks > 0) route_epoch_ = std::max(route_epoch_, u.epoch);
+      }
+      // The driver versions its mirror and reports the last epoch it holds
+      // completely; even a stale chunk is ACKed so the mapper's retry
+      // machinery sees where the node actually is.
+      std::uint32_t installed = u.epoch;
+      if (host_) installed = host_->map_route_update(u, pkt.src);
+      net::Packet ack;
+      ack.type = net::PacketType::kMapRouteAck;
+      ack.src = nic_.node_id();
+      ack.dst = pkt.src;
+      ack.route = net::reverse_route(pkt.walked);
+      ack.payload =
+          net::RouteAck{u.epoch,
+                        u.nchunks == 0 ? net::kProbeChunk : u.chunk,
+                        installed, /*announce=*/false}
+              .encode();
+      ack.seal();
+      nic_.send_packet(std::move(ack), /*resolve_route=*/false);
       break;
     }
+    case net::PacketType::kMapRouteAck:
+      // Only the mapper host installs a handler; acks and announces that
+      // land anywhere else are noise.
+      if (map_reply_handler_) map_reply_handler_(pkt);
+      break;
     default:
       break;
   }

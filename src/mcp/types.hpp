@@ -114,10 +114,14 @@ class HostIface {
   virtual std::optional<host::DmaAddr> translate(std::uint8_t port,
                                                  std::uint64_t vaddr) = 0;
 
-  /// Mapper installed/updated routes on the card; the driver mirrors them
-  /// so the FTD can restore the routing tables after a card reset.
-  virtual void routes_updated(
-      const std::vector<net::RouteEntry>& /*entries*/) {}
+  /// Mapper pushed an epoch-stamped route update (or epoch probe, when
+  /// `update.nchunks == 0`) to this card. The driver versions its mirror
+  /// with it and returns the last epoch it holds *completely*; the MCP
+  /// echoes that in the MAP_ROUTE_ACK so the mapper can re-push laggards.
+  virtual std::uint32_t map_route_update(const net::RouteUpdate& update,
+                                         net::NodeId /*from*/) {
+    return update.epoch;
+  }
 };
 
 /// Sequence-number stream identifier inside packets.

@@ -63,38 +63,113 @@ struct RouteEntry {
   std::vector<std::uint8_t> route;
 };
 
-/// Encode route-table entries for distribution: [u16 dst][u8 len][bytes]*.
-inline std::vector<std::byte> encode_route_update(
-    const std::vector<RouteEntry>& entries) {
-  std::vector<std::byte> out;
-  for (const auto& e : entries) {
-    out.push_back(std::byte{static_cast<unsigned char>(e.dst & 0xff)});
-    out.push_back(std::byte{static_cast<unsigned char>(e.dst >> 8)});
-    out.push_back(std::byte{static_cast<unsigned char>(e.route.size())});
-    for (auto b : e.route) out.push_back(std::byte{b});
-  }
-  return out;
+namespace detail {
+
+inline void put_u16(std::vector<std::byte>& out, std::uint16_t v) {
+  out.push_back(std::byte{static_cast<unsigned char>(v & 0xff)});
+  out.push_back(std::byte{static_cast<unsigned char>(v >> 8)});
 }
 
-inline std::vector<RouteEntry> decode_route_update(
-    const std::vector<std::byte>& p) {
-  std::vector<RouteEntry> out;
-  std::size_t i = 0;
-  while (i + 3 <= p.size()) {
-    RouteEntry e;
-    e.dst = static_cast<NodeId>(std::to_integer<unsigned>(p[i]) |
-                                std::to_integer<unsigned>(p[i + 1]) << 8);
-    const auto len = std::to_integer<std::size_t>(p[i + 2]);
-    i += 3;
-    if (i + len > p.size()) break;  // truncated/corrupt update: stop
-    e.route.reserve(len);
-    for (std::size_t k = 0; k < len; ++k) {
-      e.route.push_back(std::to_integer<std::uint8_t>(p[i + k]));
-    }
-    i += len;
-    out.push_back(std::move(e));
+inline void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(std::byte{static_cast<unsigned char>((v >> (8 * i)) & 0xff)});
   }
-  return out;
 }
+
+inline std::uint16_t get_u16(const std::vector<std::byte>& p, std::size_t i) {
+  return static_cast<std::uint16_t>(std::to_integer<unsigned>(p[i]) |
+                                    std::to_integer<unsigned>(p[i + 1]) << 8);
+}
+
+inline std::uint32_t get_u32(const std::vector<std::byte>& p, std::size_t i) {
+  std::uint32_t v = 0;
+  for (int k = 3; k >= 0; --k) {
+    v = v << 8 | std::to_integer<std::uint32_t>(p[i + static_cast<unsigned>(k)]);
+  }
+  return v;
+}
+
+}  // namespace detail
+
+/// Sentinel chunk index in a MAP_ROUTE_ACK answering an epoch probe
+/// (a MAP_ROUTE with nchunks == 0) rather than a data chunk.
+inline constexpr std::uint16_t kProbeChunk = 0xffff;
+
+/// Payload of a MAP_ROUTE packet: one chunk of an epoch-stamped route
+/// table push. `nchunks == 0` is an epoch probe: no entries, the receiver
+/// just reports (and, if behind, flags) its installed epoch.
+struct RouteUpdate {
+  std::uint32_t epoch = 0;
+  std::uint16_t chunk = 0;    // index of this chunk within the push
+  std::uint16_t nchunks = 0;  // total chunks in the push (0 = probe)
+  std::vector<RouteEntry> entries;
+
+  [[nodiscard]] std::vector<std::byte> encode() const {
+    std::vector<std::byte> out;
+    detail::put_u32(out, epoch);
+    detail::put_u16(out, chunk);
+    detail::put_u16(out, nchunks);
+    for (const auto& e : entries) {
+      detail::put_u16(out, e.dst);
+      out.push_back(std::byte{static_cast<unsigned char>(e.route.size())});
+      for (auto b : e.route) out.push_back(std::byte{b});
+    }
+    return out;
+  }
+
+  static RouteUpdate decode(const std::vector<std::byte>& p) {
+    RouteUpdate u;
+    if (p.size() < 8) return u;
+    u.epoch = detail::get_u32(p, 0);
+    u.chunk = detail::get_u16(p, 4);
+    u.nchunks = detail::get_u16(p, 6);
+    std::size_t i = 8;
+    while (i + 3 <= p.size()) {
+      RouteEntry e;
+      e.dst = static_cast<NodeId>(detail::get_u16(p, i));
+      const auto len = std::to_integer<std::size_t>(p[i + 2]);
+      i += 3;
+      if (i + len > p.size()) break;  // truncated/corrupt update: stop
+      e.route.reserve(len);
+      for (std::size_t k = 0; k < len; ++k) {
+        e.route.push_back(std::to_integer<std::uint8_t>(p[i + k]));
+      }
+      i += len;
+      u.entries.push_back(std::move(e));
+    }
+    return u;
+  }
+};
+
+/// Payload of a MAP_ROUTE_ACK. `epoch`/`chunk` echo the MAP_ROUTE being
+/// acknowledged (kProbeChunk for probes); `installed_epoch` is the last
+/// epoch the node holds *completely*. `announce` marks an unsolicited
+/// post-recovery epoch announcement (node -> mapper), which the mapper
+/// answers with a re-push when the node is behind.
+struct RouteAck {
+  std::uint32_t epoch = 0;
+  std::uint16_t chunk = 0;
+  std::uint32_t installed_epoch = 0;
+  bool announce = false;
+
+  [[nodiscard]] std::vector<std::byte> encode() const {
+    std::vector<std::byte> out;
+    detail::put_u32(out, epoch);
+    detail::put_u16(out, chunk);
+    detail::put_u32(out, installed_epoch);
+    out.push_back(std::byte{static_cast<unsigned char>(announce ? 1 : 0)});
+    return out;
+  }
+
+  static RouteAck decode(const std::vector<std::byte>& p) {
+    RouteAck a;
+    if (p.size() < 11) return a;
+    a.epoch = detail::get_u32(p, 0);
+    a.chunk = detail::get_u16(p, 4);
+    a.installed_epoch = detail::get_u32(p, 6);
+    a.announce = std::to_integer<unsigned>(p[10]) != 0;
+    return a;
+  }
+};
 
 }  // namespace myri::net

@@ -14,6 +14,7 @@ const char* to_string(PacketType t) {
     case PacketType::kMapScout: return "MAP_SCOUT";
     case PacketType::kMapReply: return "MAP_REPLY";
     case PacketType::kMapRoute: return "MAP_ROUTE";
+    case PacketType::kMapRouteAck: return "MAP_ROUTE_ACK";
     case PacketType::kControl: return "CONTROL";
   }
   return "?";

@@ -28,7 +28,8 @@ enum class PacketType : std::uint8_t {
   kGetReq,    // gm_get: fetch from remote registered memory
   kMapScout,  // mapper topology probe
   kMapReply,  // mapper probe answer (carries reversed route)
-  kMapRoute,  // mapper route-table distribution
+  kMapRoute,  // mapper route-table distribution (epoch-stamped)
+  kMapRouteAck,  // per-node acknowledgement of a MAP_ROUTE chunk/probe
   kControl,   // misc control (port open notifications etc.)
 };
 

@@ -29,6 +29,16 @@ void Switch::deliver(Packet pkt, std::uint8_t in_port) {
       answer_scout(pkt, in_port);
       return;
     }
+  } else if (pkt.type == PacketType::kMapRoute) {
+    // Route pushes record their walked input ports like scouts do, so the
+    // receiving card can MAP_ROUTE_ACK along the reversed path even while
+    // its own route table is stale or empty.
+    pkt.walked.push_back(in_port);
+    if (pkt.route.empty()) {
+      ++stats_.dead_routed;
+      metrics::bump(m_.dead_routed);
+      return;
+    }
   } else if (pkt.route.empty()) {
     // A data packet whose route ends at a switch is undeliverable: this is
     // what a misroute fault usually produces. The wormhole just kills it.

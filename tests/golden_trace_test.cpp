@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "gm/cluster.hpp"
+#include "mapper/failover.hpp"
 #include "sim/trace.hpp"
 
 #ifndef MYRI_GOLDEN_DIR
@@ -99,6 +100,69 @@ TEST(GoldenTrace, FtgmRecoverySequenceMatchesGolden) {
 TEST(GoldenTrace, RecordingIsDeterministic) {
   // The premise of the golden file: same seed, same trace, bit for bit.
   EXPECT_EQ(record_recovery_trace(), record_recovery_trace());
+}
+
+// ---- route control plane (DESIGN.md section 11) ------------------------
+
+std::string route_epoch_golden_path() {
+  return std::string(MYRI_GOLDEN_DIR) + "/route_epoch_trace.golden";
+}
+
+/// The recorded scene: a 4-node ring brought up under the FailoverManager
+/// (epoch 1), one card swallowing MAP_ROUTE chunks until the ack retries
+/// push through, then a trunk kill forcing a remap to epoch 2. The kMapper
+/// trace pins the epoch pushes, retry rounds and convergence points.
+std::string record_route_epoch_trace() {
+  gm::ClusterConfig cc;
+  cc.nodes = 4;
+  cc.fabric = net::FabricPreset::kRing;
+  cc.switch_ports = 3;  // one host per switch: a real 4-trunk ring
+  cc.seed = 2003;
+  gm::Cluster cluster(cc);
+  mapper::FailoverManager fm(cluster);
+
+  std::ostringstream out;
+  sim::Trace t;
+  t.enable(sim::TraceCat::kMapper, &out);
+  fm.set_trace(&t);
+
+  cluster.node(2).mcp().drop_next_map_routes(2);
+  fm.remap_now();
+  cluster.run_for(sim::msec(50));
+  cluster.topo().set_cable_down(cluster.fabric().trunk_cables()[0], true);
+  cluster.run_for(sim::msec(50));
+  return out.str();
+}
+
+TEST(GoldenTrace, RouteEpochDistributionMatchesGolden) {
+  const std::string got = record_route_epoch_trace();
+
+  if (std::getenv("MYRI_REGEN_GOLDEN") != nullptr) {
+    std::ofstream f(route_epoch_golden_path(), std::ios::trunc);
+    ASSERT_TRUE(f.good()) << "cannot write " << route_epoch_golden_path();
+    f << got;
+    GTEST_SKIP() << "regenerated " << route_epoch_golden_path();
+  }
+
+  std::ifstream f(route_epoch_golden_path());
+  ASSERT_TRUE(f.good())
+      << "missing golden file " << route_epoch_golden_path()
+      << " — run with MYRI_REGEN_GOLDEN=1 to create it";
+  std::ostringstream buf;
+  buf << f.rdbuf();
+
+  const std::vector<std::string> want = lines_of(buf.str());
+  const std::vector<std::string> have = lines_of(got);
+  const std::size_t n = std::min(want.size(), have.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(have[i], want[i]) << "trace diverges at line " << (i + 1);
+    if (have[i] != want[i]) break;
+  }
+  EXPECT_EQ(have.size(), want.size());
+}
+
+TEST(GoldenTrace, RouteEpochRecordingIsDeterministic) {
+  EXPECT_EQ(record_route_epoch_trace(), record_route_epoch_trace());
 }
 
 }  // namespace

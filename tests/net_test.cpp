@@ -352,22 +352,46 @@ TEST(Topology, SetAllFaultsAppliesToEveryLink) {
 }
 
 TEST(RouteCodec, RoundTrip) {
-  std::vector<RouteEntry> in = {{3, {1, 2, 3}}, {9, {}}, {300, {7}}};
-  const auto bytes = encode_route_update(in);
-  const auto out = decode_route_update(bytes);
-  ASSERT_EQ(out.size(), 3u);
-  EXPECT_EQ(out[0].dst, 3u);
-  EXPECT_EQ(out[0].route, (std::vector<std::uint8_t>{1, 2, 3}));
-  EXPECT_TRUE(out[1].route.empty());
-  EXPECT_EQ(out[2].dst, 300u);
+  RouteUpdate in{7, 2, 5, {{3, {1, 2, 3}}, {9, {}}, {300, {7}}}};
+  const auto out = RouteUpdate::decode(in.encode());
+  EXPECT_EQ(out.epoch, 7u);
+  EXPECT_EQ(out.chunk, 2u);
+  EXPECT_EQ(out.nchunks, 5u);
+  ASSERT_EQ(out.entries.size(), 3u);
+  EXPECT_EQ(out.entries[0].dst, 3u);
+  EXPECT_EQ(out.entries[0].route, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_TRUE(out.entries[1].route.empty());
+  EXPECT_EQ(out.entries[2].dst, 300u);
 }
 
 TEST(RouteCodec, TruncatedInputStopsCleanly) {
-  std::vector<RouteEntry> in = {{3, {1, 2, 3}}};
-  auto bytes = encode_route_update(in);
+  RouteUpdate in{1, 0, 1, {{3, {1, 2, 3}}}};
+  auto bytes = in.encode();
   bytes.pop_back();  // cut the route short
-  const auto out = decode_route_update(bytes);
-  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(RouteUpdate::decode(bytes).entries.empty());
+  bytes.resize(4);  // not even a full header
+  const auto out = RouteUpdate::decode(bytes);
+  EXPECT_EQ(out.epoch, 0u);
+  EXPECT_TRUE(out.entries.empty());
+}
+
+TEST(RouteCodec, ProbeHasNoEntries) {
+  RouteUpdate probe{42, 0, 0, {}};
+  const auto out = RouteUpdate::decode(probe.encode());
+  EXPECT_EQ(out.epoch, 42u);
+  EXPECT_EQ(out.nchunks, 0u);
+  EXPECT_TRUE(out.entries.empty());
+}
+
+TEST(RouteCodec, AckRoundTrip) {
+  RouteAck in{9, kProbeChunk, 8, true};
+  const auto out = RouteAck::decode(in.encode());
+  EXPECT_EQ(out.epoch, 9u);
+  EXPECT_EQ(out.chunk, kProbeChunk);
+  EXPECT_EQ(out.installed_epoch, 8u);
+  EXPECT_TRUE(out.announce);
+  RouteAck plain{3, 1, 3, false};
+  EXPECT_FALSE(RouteAck::decode(plain.encode()).announce);
 }
 
 TEST(MapReplyInfo, RoundTrip) {

@@ -127,5 +127,52 @@ TEST(ScenarioChaos, RingHangPlusLossWindow) {
   EXPECT_EQ(r.recoveries, 1u);
 }
 
+TEST(ScenarioChaos, MixedHangCableKillAndLossyWindow) {
+  // The profile the old disjoint generator refused to produce: a NIC hang,
+  // a trunk kill and a lossy window overlapping on one fabric. The epoch
+  // control plane must retry dropped MAP_ROUTE chunks through the window,
+  // remap around the dead trunk, fold the recovered node back in, and
+  // leave every card on the mapper's epoch (the oracle's route-convergence
+  // invariant checks exactly that after quiesce).
+  fi::Scenario s;
+  s.seed = 19;
+  s.nodes = 8;
+  s.fabric = net::FabricPreset::kFatTree;
+  s.msgs = 30;
+  s.msg_len = 1024;
+  s.drop = 0.04;
+  using K = fi::ScenarioEvent::Kind;
+  fi::ScenarioEvent hang;
+  hang.kind = K::kNicHang;
+  hang.node = 5;
+  hang.at = fi::Scenario::kWarmup + sim::usec(400);
+  fi::ScenarioEvent down;
+  down.kind = K::kCableDown;
+  down.cable = 1;
+  down.at = fi::Scenario::kWarmup + sim::usec(900);  // node 5 still hung
+  fi::ScenarioEvent win;
+  win.kind = K::kFaultWindow;
+  win.at = down.at + sim::usec(100);  // chunks of the remap meet the loss
+  win.duration = sim::msec(5);
+  win.drop = 0.20;
+  win.corrupt = 0.05;
+  fi::ScenarioEvent up;
+  up.kind = K::kCableUp;
+  up.cable = 1;
+  up.at = down.at + sim::msec(600);
+  s.events = {hang, down, win, up};
+
+  const fi::RunReport r = fi::ScenarioRunner::run(s);
+  if (r.failed()) {
+    report_and_dump(s, r, "mixed_hang_cable_loss");
+    return;
+  }
+  EXPECT_EQ(r.recoveries, 1u);
+  EXPECT_GE(r.remaps, 2u);  // trunk kill + restore (+ announce remap)
+  EXPECT_EQ(r.deliveries, 8u * 30u);
+  // Seed stability holds for the mixed profile too.
+  EXPECT_EQ(fi::ScenarioRunner::run(s).digest, r.digest);
+}
+
 }  // namespace
 }  // namespace myri
