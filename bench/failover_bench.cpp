@@ -39,6 +39,9 @@ struct RunResult {
   double converge_us = 0;       // epoch push -> every node acked (mean)
   std::uint64_t route_epoch = 0;
   std::uint64_t route_retries = 0;  // MAP_ROUTE chunks re-sent on timeout
+  std::uint64_t census_probes = 0;  // scrub probes at last-known routes
+  std::uint64_t announces = 0;      // post-recovery route announces (all nodes)
+  std::uint64_t announce_retries = 0;
   bool complete = false;
   int duplicates = 0;
 };
@@ -107,6 +110,13 @@ RunResult one_run(std::uint64_t seed, metrics::Registry* agg) {
   r.route_epoch = static_cast<std::uint64_t>(
       cluster.metrics().gauge("mapper.route_epoch").value());
   r.route_retries = cluster.metrics().counter("mapper.map_route_retries").value();
+  r.census_probes = cluster.metrics().counter("mapper.census_probes").value();
+  for (int i = 0; i < kNodes; ++i) {
+    r.announces += cluster.node(static_cast<net::NodeId>(i))
+                       .mcp().stats().announces_sent;
+    r.announce_retries += cluster.node(static_cast<net::NodeId>(i))
+                              .mcp().stats().announce_retries;
+  }
 
   // Bin analysis. Bins [warmup .. kill) give the steady pre-kill rate;
   // the outage window is the 5 ms after the kill.
@@ -177,11 +187,16 @@ int main() {
                 "\"prekill_bytes_per_ms\":%.0f,\"dip_bytes_per_ms\":%.0f,"
                 "\"recover_ms\":%.1f,\"converge_us\":%.1f,"
                 "\"route_epoch\":%llu,\"route_retries\":%llu,"
+                "\"census_probes\":%llu,\"announces\":%llu,"
+                "\"announce_retries\":%llu,"
                 "\"complete\":%s,\"duplicates\":%d}\n",
                 i, kNodes, kStreams, r.remap_us, r.prekill_bytes_per_ms,
                 r.dip_bytes_per_ms, r.recover_ms, r.converge_us,
                 static_cast<unsigned long long>(r.route_epoch),
                 static_cast<unsigned long long>(r.route_retries),
+                static_cast<unsigned long long>(r.census_probes),
+                static_cast<unsigned long long>(r.announces),
+                static_cast<unsigned long long>(r.announce_retries),
                 r.complete ? "true" : "false", r.duplicates);
   }
   bench::export_registry_json(agg);

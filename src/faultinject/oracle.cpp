@@ -194,8 +194,31 @@ void Oracle::check_route_convergence() {
   // retries/scrub/announce eventually repair any lag, so a node still
   // behind here is a lost-update bug, not latency.
   if (!ok() || route_authority_ == nullptr) return;
+  // A repair loop that ran its budgets into silence is a failure in its
+  // own right — it used to read as "settled" and digest as success.
+  if (route_authority_->gave_up()) {
+    violate("route-convergence",
+            "failover manager gave up: remap/scrub budgets exhausted with "
+            "the fabric not fully converged");
+    return;
+  }
   const mapper::Mapper& m = route_authority_->mapper();
   if (m.epoch() == 0) return;  // never mapped: nothing to converge to
+  // Roster interface count: a node expected up at horizon that the final
+  // map never discovered has no table entry to lag behind — without this
+  // check it would be invisible to the epoch loop below.
+  for (const net::NodeId node : expected_roster_) {
+    if (!ok()) break;
+    if (node >= static_cast<net::NodeId>(cluster_.size())) continue;
+    if (m.table().count(node) == 0) {
+      violate("route-convergence",
+              cluster_.node(node).name() +
+                  ": expected up at horizon but absent from the final map "
+                  "(" + std::to_string(m.table().size()) + " of " +
+                  std::to_string(expected_roster_.size()) +
+                  " expected interfaces mapped)");
+    }
+  }
   for (const auto& [node, entries] : m.table()) {
     (void)entries;
     if (!ok()) break;

@@ -19,8 +19,12 @@
 //                        empty (final_check only)
 //   route-convergence    after quiesce, every node in the mapper's table
 //                        holds the mapper's current route epoch
-//                        completely (final_check only; needs a route
-//                        authority, see set_route_authority)
+//                        completely, every node expected up at horizon is
+//                        present in the map at all (roster interface
+//                        count, see set_expected_roster), and the
+//                        failover manager did not give up its repair loop
+//                        (final_check only; needs a route authority, see
+//                        set_route_authority)
 //
 // The first violation is recorded with its virtual timestamp and checking
 // stops (later checks would cascade). The oracle is deterministic: its
@@ -86,6 +90,14 @@ class Oracle {
   void set_route_authority(const mapper::FailoverManager* fm) {
     route_authority_ = fm;
   }
+  /// Nodes the scenario expects to be up at horizon. With a route
+  /// authority set, route-convergence additionally requires every one of
+  /// them to be present in the final map — a node the map never
+  /// discovered used to be invisible to the epoch check (it has no table
+  /// entry to lag behind).
+  void set_expected_roster(std::vector<net::NodeId> roster) {
+    expected_roster_ = std::move(roster);
+  }
 
   /// End-of-run quiescence checks; call after the cluster drained.
   void final_check();
@@ -113,6 +125,7 @@ class Oracle {
 
   gm::Cluster& cluster_;
   const mapper::FailoverManager* route_authority_ = nullptr;
+  std::vector<net::NodeId> expected_roster_;
   Config cfg_;
   std::vector<Stream> streams_;
   std::vector<Violation> violations_;

@@ -211,6 +211,49 @@ std::string validate(const Scenario& s) {
 
 }  // namespace
 
+// ---- roster / horizon ----
+
+sim::Time Scenario::effective_horizon() const {
+  if (horizon != 0) return horizon;
+  sim::Time h = Scenario::kWarmup + sim::msec(10) +
+                sim::usec(150) * static_cast<std::uint64_t>(msgs) *
+                    static_cast<std::uint64_t>(nodes);
+  for (const ScenarioEvent& ev : events) {
+    h = std::max(h, ev.at + ev.duration + sim::sec(1));
+    if (ev.kind == ScenarioEvent::Kind::kNicHang ||
+        ev.kind == ScenarioEvent::Kind::kSramFlip) {
+      h += kRecoveryAllowance;  // detect + confirm + reload + replay
+    }
+  }
+  return h;
+}
+
+std::vector<net::NodeId> Scenario::expected_up_at_horizon() const {
+  const sim::Time h = effective_horizon();
+  std::vector<bool> up(static_cast<std::size_t>(nodes), true);
+  for (const ScenarioEvent& ev : events) {
+    if (ev.kind != ScenarioEvent::Kind::kNicHang &&
+        ev.kind != ScenarioEvent::Kind::kSramFlip) {
+      continue;
+    }
+    if (ev.node < 0 || ev.node >= nodes) continue;
+    // kGm has no watchdog/FTD: a wedged card stays wedged. A flip may be
+    // benign or self-restart, but "may be up" is not "expected up".
+    // kFtgm recovers, but a victim hit too close to the horizon cannot
+    // be counted on to be back (and remapped) in time.
+    if (mode == mcp::McpMode::kGm || ev.at + kRecoveryAllowance > h) {
+      up[static_cast<std::size_t>(ev.node)] = false;
+    }
+  }
+  std::vector<net::NodeId> out;
+  for (int i = 0; i < nodes; ++i) {
+    if (up[static_cast<std::size_t>(i)]) {
+      out.push_back(static_cast<net::NodeId>(i));
+    }
+  }
+  return out;
+}
+
 // ---- runner ----
 
 RunReport ScenarioRunner::run(const Scenario& s, const Options& opt) {
@@ -252,6 +295,7 @@ RunReport ScenarioRunner::run(const Scenario& s, const Options& opt) {
 
   Oracle oracle(cluster, Oracle::Config{opt.check_gap});
   oracle.set_route_authority(fm.get());
+  oracle.set_expected_roster(s.expected_up_at_horizon());
   std::uint64_t digest = kFnvOffset;
   std::uint64_t deliveries = 0;
   std::vector<bool> dup_next(wls.size(), false);
@@ -333,19 +377,7 @@ RunReport ScenarioRunner::run(const Scenario& s, const Options& opt) {
   for (auto& wl : wls) wl->start();
   oracle.attach();
 
-  sim::Time horizon = s.horizon;
-  if (horizon == 0) {
-    horizon = Scenario::kWarmup + sim::msec(10) +
-              sim::usec(150) * static_cast<std::uint64_t>(s.msgs) *
-                  static_cast<std::uint64_t>(s.nodes);
-    for (const ScenarioEvent& ev : s.events) {
-      horizon = std::max(horizon, ev.at + ev.duration + sim::sec(1));
-      if (ev.kind == ScenarioEvent::Kind::kNicHang ||
-          ev.kind == ScenarioEvent::Kind::kSramFlip) {
-        horizon += sim::sec(4);  // detect + confirm + reload + replay
-      }
-    }
-  }
+  const sim::Time horizon = s.effective_horizon();
 
   // The experiment is over when every stream is complete, every scheduled
   // event has fired, and no NIC is still wedged mid-recovery. Returning at

@@ -84,6 +84,24 @@ struct Scenario {
 
   friend bool operator==(const Scenario&, const Scenario&) = default;
 
+  /// Per-fault recovery allowance used both to derive the default horizon
+  /// and to decide which fault victims count as "expected up at horizon"
+  /// (detect + confirm + reload + replay is ~1.7-4 s).
+  static constexpr sim::Time kRecoveryAllowance = sim::sec(4);
+
+  /// The horizon the runner actually uses: `horizon` when set, otherwise
+  /// derived from workload size and the schedule (each hang/flip adds
+  /// kRecoveryAllowance).
+  [[nodiscard]] sim::Time effective_horizon() const;
+
+  /// Nodes expected to be up (recovered, mappable) at effective_horizon():
+  /// everyone except hang/flip victims that cannot be back in time — in
+  /// kGm mode there is no watchdog/FTD, so any such victim may stay down
+  /// for good; in kFtgm mode only victims hit within kRecoveryAllowance
+  /// of the horizon are excused. The runner feeds this to the oracle's
+  /// roster-aware route-convergence invariant.
+  [[nodiscard]] std::vector<net::NodeId> expected_up_at_horizon() const;
+
   /// Deterministic random scenario: topology, rates and schedule are all
   /// derived from `rand_seed`. Never emits the test-only kDoubleDeliver
   /// kind; hangs are spaced past the ~1.7 s recovery; cable events only

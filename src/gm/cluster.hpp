@@ -60,6 +60,19 @@ class Cluster {
   [[nodiscard]] Node& node(int i) { return *nodes_.at(i); }
   [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
 
+  /// The fabric roster: node ids of every placed endpoint, in id order.
+  /// This is what a self-healing control plane must eventually map — the
+  /// FailoverManager feeds it to the mapper as the expected roster, and
+  /// the chaos oracle checks the final map against it.
+  [[nodiscard]] std::vector<net::NodeId> expected_nodes() const {
+    std::vector<net::NodeId> out;
+    out.reserve(fabric_->placements().size());
+    for (std::size_t i = 0; i < fabric_->placements().size(); ++i) {
+      out.push_back(static_cast<net::NodeId>(i));
+    }
+    return out;
+  }
+
   /// Run the simulation for `d` of virtual time.
   void run_for(sim::Time d) { eq_.run_until(eq_.now() + d); }
   /// Run until the event queue drains, bounded against runaway loops by

@@ -30,18 +30,36 @@ FailoverManager::FailoverManager(gm::Cluster& cluster, Config cfg)
       [this](net::Topology::CableId id, bool down) {
         on_cable_event(id, down);
       });
-  // A node the current map does not contain announced itself (it was hung
-  // through discovery and just recovered): fold it back in with a remap.
+  // The fabric roster: scrub() census-probes roster nodes the map never
+  // discovered, and convergence is only "full" once all of them are in.
+  mapper_.set_expected_roster(cluster_.expected_nodes());
+  // A node the current map does not contain announced itself or answered
+  // a census probe (it was hung through discovery and just recovered):
+  // fold it back in with a remap.
   mapper_.set_on_node_returned([this](net::NodeId) {
-    remap_retries_ = 0;
+    on_progress();
     request_remap();
   });
+  // Any sign of life from a missing/lagging card resets the retry budgets
+  // (self-healing: an outage longer than the budget still converges once
+  // the node is back, with no external trigger).
+  mapper_.set_on_progress([this] { on_progress(); });
 }
 
 void FailoverManager::on_cable_event(net::Topology::CableId, bool) {
   metrics::bump(cable_events_);
-  remap_retries_ = 0;  // fresh external trigger: fresh retry budget
+  on_progress();  // fresh external trigger: fresh retry budgets
   request_remap();
+}
+
+void FailoverManager::on_progress() {
+  remap_retries_ = 0;
+  scrub_strikes_ = 0;
+  if (gave_up_) {
+    // The repair loop had stopped into silence; a sign of life revives it.
+    gave_up_ = false;
+    if (!fully_converged()) arm_scrub();
+  }
 }
 
 void FailoverManager::request_remap() {
@@ -92,7 +110,7 @@ void FailoverManager::finish_remap(bool ok) {
       // everywhere, but a remap is the only way to fold it back in.
       schedule_remap_retry();
     }
-    if (!mapper_.converged()) arm_scrub();
+    if (!fully_converged()) arm_scrub();
   } else {
     ++failed_;
     metrics::bump(remaps_failed_);
@@ -112,7 +130,15 @@ void FailoverManager::finish_remap(bool ok) {
 }
 
 void FailoverManager::schedule_remap_retry() {
-  if (retry_pending_ || remap_retries_ >= cfg_.max_remap_retries) return;
+  if (retry_pending_) return;
+  if (remap_retries_ >= cfg_.max_remap_retries) {
+    // Out of remap patience into silence (progress would have reset the
+    // budget). The scrub/census loop, if armed, keeps probing and can
+    // still revive things; with nothing armed the control plane has
+    // formally given up — visible via gave_up(), never as quiet success.
+    if (!scrub_armed_) gave_up_ = true;
+    return;
+  }
   retry_pending_ = true;
   const sim::Time wait = cfg_.remap_retry_backoff
                          << std::min<std::uint32_t>(remap_retries_, 3);
@@ -135,7 +161,16 @@ void FailoverManager::arm_scrub() {
       arm_scrub();  // remap in flight; re-check after it lands
       return;
     }
-    if (mapper_.converged() && mapper_.distribution_idle()) return;
+    if (fully_converged() && mapper_.distribution_idle()) {
+      scrub_strikes_ = 0;
+      return;  // done; the next trigger re-arms
+    }
+    if (++scrub_strikes_ > cfg_.max_scrub_strikes) {
+      // Strikes of probing into pure silence: stop so the event queue
+      // can drain. A later announce revives the loop via on_progress().
+      gave_up_ = true;
+      return;
+    }
     mapper_.scrub();
     arm_scrub();
   });
@@ -144,11 +179,19 @@ void FailoverManager::arm_scrub() {
 bool FailoverManager::settled() const {
   if (running_ || pending_ || retry_pending_) return false;
   if (!mapper_.distribution_idle()) return false;
-  return mapper_.epoch() == 0 || mapper_.converged() ||
-         remap_retries_ >= cfg_.max_remap_retries;
+  if (mapper_.epoch() == 0 || fully_converged()) return true;
+  // Unconverged: settled only in the terminal give-up state. While the
+  // scrub/census loop is still armed, repair is still in flight — a
+  // runner must keep waiting (budget exhaustion alone used to read as
+  // "settled", silently passing unconverged fabrics off as success).
+  return gave_up_ && !scrub_armed_;
 }
 
 void FailoverManager::record_route_lengths() {
+  // Snapshot of the CURRENT epoch's routes: re-observing every pair on
+  // every remap would skew the percentiles toward the most-remapped
+  // topology (and count pairs, not routes, across the run).
+  route_len_->reset();
   for (const net::NodeId a : mapper_.interfaces()) {
     for (const auto& [b, route] : mapper_.routes_from_interface(a)) {
       (void)b;

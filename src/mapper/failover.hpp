@@ -10,11 +10,23 @@
 // loops:
 //   - a slow periodic scrub that probes the installed epoch of every node
 //     still lagging the current one (re-verify; real GM's remapping-scout
-//     analogue) until the fabric converges,
+//     analogue) and census-probes roster nodes the map never discovered,
+//     until the fabric converges AND the expected roster (fed from the
+//     cluster's endpoint placement) is fully mapped,
 //   - retrying remaps that failed or came back short (the mapper host's
 //     own card hung, scouts lost to a lossy window) with bounded backoff,
 //   - remapping when a node absent from the current map announces itself
-//     after FTD recovery (it was hung through discovery).
+//     after FTD recovery or answers a census probe (it was hung through
+//     discovery).
+//
+// Budgets reset on progress, not only on external cable events: any
+// announce, census answer, laggard ack or new-interface scout reply
+// resets the remap retry budget and the scrub strike counter, so an
+// outage longer than the budget still heals the moment the node shows
+// life — no fresh trigger needed. Only total silence (max_scrub_strikes
+// consecutive scrub passes with no progress signal, ~30 s) stops the
+// repair loop; that terminal state is visible via gave_up() and surfaced
+// by the chaos oracle as a route-convergence violation.
 //
 // Failover latency, post-remap route lengths and control-plane telemetry
 // are published through the cluster's metrics::Registry:
@@ -22,10 +34,13 @@
 //   fabric.failover.remaps         remaps completed ok
 //   fabric.failover.failed_remaps  remaps that found nothing
 //   fabric.failover.remap_ns       cable event -> routes distributed
-//   fabric.route_len_hops          route length per reachable pair
+//   fabric.route_len_hops          route length per reachable pair of the
+//                                  CURRENT epoch (snapshot per remap, not
+//                                  cumulative across remaps)
 //   mapper.route_epoch             current route epoch (gauge)
 //   mapper.map_route_retries       MAP_ROUTE chunks re-sent on ack timeout
 //   mapper.scrub_repairs           full-table re-pushes to lagging nodes
+//   mapper.census_probes           probes to expected-but-unmapped nodes
 //   fabric.route_converge_us       epoch push -> every node acked
 #pragma once
 
@@ -53,8 +68,15 @@ class FailoverManager {
     sim::Time scrub_interval = sim::msec(50);
     /// Backoff base for retrying failed/short remaps (doubles, capped).
     sim::Time remap_retry_backoff = sim::msec(100);
-    /// Retry budget for failed/short remaps per external trigger.
+    /// Retry budget for failed/short remaps. Resets on any external
+    /// trigger AND on any progress signal from the mapper (announce,
+    /// census answer, laggard ack, new-interface scout reply).
     std::uint32_t max_remap_retries = 8;
+    /// Consecutive scrub passes with work left but no progress signal
+    /// before the repair loop stops (gave_up()) so the event queue can
+    /// drain. Progress resets the count; a later announce revives the
+    /// loop. 600 x 50 ms = ~30 s of probing into silence.
+    std::uint32_t max_scrub_strikes = 600;
   };
 
   /// Registers itself as the topology's cable listener. Must outlive the
@@ -76,9 +98,21 @@ class FailoverManager {
 
   /// True when every node in the mapper's table acked the current epoch.
   [[nodiscard]] bool converged() const { return mapper_.converged(); }
+  /// converged() AND every roster node (the cluster's endpoint placement)
+  /// is present in the map — a short map that acked everywhere it reaches
+  /// is NOT fully converged.
+  [[nodiscard]] bool fully_converged() const {
+    return mapper_.converged() && mapper_.roster_complete();
+  }
   /// Control plane fully settled: nothing running, pending or retrying,
-  /// and the fabric converged (or there is nothing to converge to).
+  /// and the fabric fully converged — or the repair loop gave up, which
+  /// settles the event queue but is a failure, not success (gave_up()).
   [[nodiscard]] bool settled() const;
+  /// Terminal repair failure: retry/scrub budgets ran into silence with
+  /// the fabric not fully converged. A later progress signal clears it.
+  [[nodiscard]] bool gave_up() const {
+    return gave_up_ && !fully_converged();
+  }
   /// Run one scrub pass immediately (tests / out-of-band verification).
   void scrub_now() { mapper_.scrub(); }
   /// Forward kMapper tracing to the owned mapper.
@@ -86,6 +120,7 @@ class FailoverManager {
 
  private:
   void on_cable_event(net::Topology::CableId id, bool down);
+  void on_progress();
   void request_remap();
   void start_remap();
   void finish_remap(bool ok);
@@ -101,7 +136,9 @@ class FailoverManager {
   bool rerun_ = false;    // events arrived mid-run: go again
   bool scrub_armed_ = false;
   bool retry_pending_ = false;  // failed/short-remap retry scheduled
+  bool gave_up_ = false;        // repair loop stopped into silence
   std::uint32_t remap_retries_ = 0;
+  std::uint32_t scrub_strikes_ = 0;  // scrub passes since last progress
   sim::Time trigger_time_ = 0;
   std::uint64_t remaps_ = 0;
   std::uint64_t failed_ = 0;

@@ -56,9 +56,9 @@ void Mapper::run(std::function<void(bool)> done) {
 
 void Mapper::send_scout(std::vector<std::uint8_t> route,
                         std::optional<std::uint32_t> parent,
-                        std::uint8_t out_port) {
+                        std::uint8_t out_port, std::uint32_t tries) {
   const std::uint32_t id = next_scout_++;
-  pending_[id] = PendingScout{route, parent, out_port};
+  pending_[id] = PendingScout{route, parent, out_port, tries};
   ++stats_.scouts_sent;
 
   net::Packet pkt;
@@ -70,10 +70,23 @@ void Mapper::send_scout(std::vector<std::uint8_t> route,
   home_.mcp().send_raw(std::move(pkt));
 
   home_.event_queue().schedule_after(cfg_.scout_timeout, [this, id] {
-    if (pending_.erase(id) > 0) {
-      ++stats_.timeouts;  // nothing at the end of that route
-      if (pending_.empty() && running_) finish_discovery();
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    PendingScout ctx = std::move(it->second);
+    pending_.erase(it);
+    if (ctx.tries + 1 < cfg_.scout_tries) {
+      // Reply lost — or still queued behind the discovery burst on the
+      // home link. Re-probe: the retry rides a fabric the burst has long
+      // drained from, so a live node answers in time. Without this, the
+      // tail of a large fabric's reply wave deterministically misses the
+      // map, and a node that was never mapped is invisible to census.
+      ++stats_.scout_retries;
+      send_scout(std::move(ctx.route), ctx.parent, ctx.out_port,
+                 ctx.tries + 1);
+      return;
     }
+    ++stats_.timeouts;  // nothing at the end of that route
+    if (pending_.empty() && running_) finish_discovery();
   });
 }
 
@@ -85,6 +98,12 @@ void Mapper::on_reply(const net::Packet& pkt) {
   ++stats_.replies;
 
   const net::MapReplyInfo info = net::MapReplyInfo::decode(pkt.payload);
+  // An interface the current map lacks answered a scout: a missing node
+  // came (back) to life mid-remap. Progress for the owner's retry budget.
+  if (epoch_ > 0 && info.kind == net::DeviceKind::kInterface &&
+      table_.count(info.id) == 0 && on_progress_) {
+    on_progress_();
+  }
   const DeviceRef v{info.kind, info.id};
   const std::uint32_t vkey = v.key();
   const std::uint32_t parent_key =
@@ -237,7 +256,10 @@ void Mapper::compute_and_distribute() {
       routes_from(vertex_key(net::DeviceKind::kInterface, home_.id()));
   for (net::NodeId x : ifaces) {
     auto hit = home_routes.find(vertex_key(net::DeviceKind::kInterface, x));
-    if (hit != home_routes.end()) home_route_[x] = hit->second;
+    if (hit != home_routes.end()) {
+      home_route_[x] = hit->second;
+      last_route_[x] = hit->second;  // census transport, survives epochs
+    }
   }
 
   // Build the whole table before distributing anything: mark_converged's
@@ -362,6 +384,16 @@ void Mapper::on_route_ack(const net::Packet& pkt) {
   const net::NodeId node = pkt.src;
   ++stats_.route_acks;
 
+  const bool known = table_.count(node) != 0;
+  // Evidence a previously missing/lagging card is alive (see
+  // set_on_progress): an announce, an answer from a node the current map
+  // does not contain (current-epoch only — a late ack from an old push to
+  // a since-removed node proves nothing about *now*), or a laggard heard
+  // outside an in-flight push. Deliberately not every chunk ack.
+  const bool progress =
+      a.announce || (!known && a.epoch == epoch_) ||
+      (known && converged_.count(node) == 0 && dist_.count(node) == 0);
+
   auto it = dist_.find(node);
   if (it != dist_.end() && a.epoch == epoch_ &&
       a.chunk != net::kProbeChunk && a.chunk < it->second.acked.size()) {
@@ -375,21 +407,24 @@ void Mapper::on_route_ack(const net::Packet& pkt) {
     dist_.erase(node);
     mark_converged(node);
     check_distribution_done();
-    return;
-  }
-  // The node is behind the current epoch.
-  if (dist_.count(node) != 0) return;     // push in flight: retries cover it
-  if (converged_.count(node) != 0) return;  // stale ack from an older push
-  if (table_.count(node) != 0) {
+  } else if (dist_.count(node) != 0) {
+    // Push in flight: its retries cover the node.
+  } else if (converged_.count(node) != 0) {
+    // Stale ack from an older push.
+  } else if (known) {
     // Scrub probe or announce found a laggard the map knows: repair it.
     push_routes(node);
-  } else if (a.announce && on_node_returned_) {
-    // A node the current map never saw (hung through discovery) is back:
-    // only a remap can fold it in again.
-    trace("node " + std::to_string(node) + ": announced installed epoch " +
-          std::to_string(a.installed_epoch) + ", not in map -> remap");
-    on_node_returned_(node);
+  } else if (a.announce || a.epoch == epoch_) {
+    // A node the current map never saw (hung through discovery) is back —
+    // it announced, or answered a census probe we sent at this epoch.
+    // Only a remap can fold it in again.
+    trace("node " + std::to_string(node) + ": " +
+          (a.announce ? "announced" : "answered census probe,") +
+          " installed epoch " + std::to_string(a.installed_epoch) +
+          ", not in map -> remap");
+    if (on_node_returned_) on_node_returned_(node);
   }
+  if (progress && on_progress_) on_progress_();
 }
 
 void Mapper::mark_converged(net::NodeId x) {
@@ -452,10 +487,53 @@ void Mapper::scrub() {
     ++probes;
     home_.mcp().send_raw(std::move(pkt));
   }
-  if (probes > 0) {
-    trace("scrub: " + std::to_string(probes) + " probe(s) @ epoch " +
+  // Census: the roster says these nodes exist but the current map has no
+  // trace of them (hung through every remap, recovery announce lost).
+  // Probe them at their last known route; an answer arrives as an ack
+  // from a node not in table_, which triggers on_node_returned_ -> remap.
+  // Nodes never mapped at all have no last route and stay unreachable
+  // from this side — their own (retried) announce is the only way in.
+  std::size_t census = 0;
+  for (const net::NodeId x : roster_) {
+    if (x == home_.id() || table_.count(x) != 0) continue;
+    auto rit = last_route_.find(x);
+    if (rit == last_route_.end()) continue;
+    net::Packet pkt;
+    pkt.type = net::PacketType::kMapRoute;
+    pkt.src = home_.id();
+    pkt.dst = x;
+    pkt.route = rit->second;
+    pkt.payload = net::RouteUpdate{epoch_, 0, 0, {}}.encode();
+    pkt.seal();
+    ++stats_.census_probes;
+    metrics::bump(m_census_probes_);
+    ++census;
+    home_.mcp().send_raw(std::move(pkt));
+  }
+  if (probes > 0 || census > 0) {
+    trace("scrub: " + std::to_string(probes) + " probe(s), " +
+          std::to_string(census) + " census probe(s) @ epoch " +
           std::to_string(epoch_));
   }
+}
+
+void Mapper::set_expected_roster(std::vector<net::NodeId> roster) {
+  roster_ = std::set<net::NodeId>(roster.begin(), roster.end());
+}
+
+bool Mapper::roster_complete() const {
+  for (const net::NodeId x : roster_) {
+    if (table_.count(x) == 0) return false;
+  }
+  return true;
+}
+
+std::vector<net::NodeId> Mapper::missing_nodes() const {
+  std::vector<net::NodeId> out;
+  for (const net::NodeId x : roster_) {
+    if (table_.count(x) == 0) out.push_back(x);
+  }
+  return out;
 }
 
 void Mapper::trace(const std::string& msg) const {
@@ -469,6 +547,7 @@ void Mapper::bind_metrics(metrics::Registry& reg) {
   m_epoch_ = &reg.gauge("mapper.route_epoch");
   m_retries_ = &reg.counter("mapper.map_route_retries");
   m_scrub_repairs_ = &reg.counter("mapper.scrub_repairs");
+  m_census_probes_ = &reg.counter("mapper.census_probes");
   m_converge_us_ =
       &reg.histogram("fabric.route_converge_us", converge_us_bounds());
   if (epoch_ > 0) m_epoch_->set(epoch_);

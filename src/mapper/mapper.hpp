@@ -59,19 +59,26 @@ struct DeviceInfo {
 struct MapperStats {
   std::uint64_t scouts_sent = 0;
   std::uint64_t replies = 0;
-  std::uint64_t timeouts = 0;
+  std::uint64_t timeouts = 0;       // routes declared dead (tries exhausted)
+  std::uint64_t scout_retries = 0;  // scouts re-sent after a silent try
   std::uint64_t route_packets = 0;  // MAP_ROUTE chunks sent (incl. resends)
   std::uint64_t runs = 0;
   std::uint64_t route_acks = 0;     // MAP_ROUTE_ACKs received
   std::uint64_t route_retries = 0;  // chunks re-sent after an ack timeout
   std::uint64_t repushes = 0;       // full-table re-pushes (scrub/announce)
   std::uint64_t scrub_probes = 0;   // epoch probes sent by scrub()
+  std::uint64_t census_probes = 0;  // probes to expected-but-unmapped nodes
 };
 
 class Mapper {
  public:
   struct Config {
     sim::Time scout_timeout = sim::usec(300);
+    /// Probes per route before it is declared dead. Discovery scouts a
+    /// whole fabric in one burst; the tail of the reply wave queues behind
+    /// the burst on the home link and can outlive scout_timeout, so a
+    /// single silent try must not erase a live node from the map.
+    std::uint32_t scout_tries = 3;
     std::size_t max_depth = 16;  // probe route length bound
     /// Initial MAP_ROUTE_ACK wait; doubles per retry round (capped).
     sim::Time ack_timeout = sim::usec(400);
@@ -122,18 +129,43 @@ class Mapper {
   void push_routes(net::NodeId x);
   /// Probe the installed epoch of every unconverged node (the slow
   /// re-verify pass; FailoverManager runs it periodically). A probe ack
-  /// showing a stale epoch triggers push_routes() for that node.
+  /// showing a stale epoch triggers push_routes() for that node. When an
+  /// expected roster is set, additionally census-probes roster nodes the
+  /// current map never discovered (at their last known route), so a node
+  /// whose recovery announce was lost is still pulled back in.
   void scrub();
 
+  /// The nodes this fabric is supposed to contain (the owner feeds it
+  /// from gm::Cluster's endpoint placement). Drives scrub()'s census
+  /// probes and roster_complete(). Empty = no expectation (raw mapper).
+  void set_expected_roster(std::vector<net::NodeId> roster);
+  /// True when every expected-roster node is present in the current map
+  /// (vacuously true with no roster set).
+  [[nodiscard]] bool roster_complete() const;
+  /// Expected-roster nodes absent from the current map.
+  [[nodiscard]] std::vector<net::NodeId> missing_nodes() const;
+
   /// Publish control-plane telemetry: mapper.route_epoch (gauge),
-  /// mapper.map_route_retries, mapper.scrub_repairs (counters) and
-  /// fabric.route_converge_us (histogram: epoch push -> all nodes acked).
+  /// mapper.map_route_retries, mapper.scrub_repairs, mapper.census_probes
+  /// (counters) and fabric.route_converge_us (histogram: epoch push ->
+  /// all nodes acked).
   void bind_metrics(metrics::Registry& reg);
   /// Fires when a node absent from the current map announces itself
   /// (post-recovery): the fabric has more in it than the map says, so the
   /// owner should schedule a remap.
   void set_on_node_returned(std::function<void(net::NodeId)> cb) {
     on_node_returned_ = std::move(cb);
+  }
+  /// Fires on evidence that a previously missing or lagging card is alive
+  /// and repair can still make headway: a post-recovery announce, an ack
+  /// from a node the current map does not contain (census probe answered),
+  /// a laggard answering outside an in-flight push, or a scout reply from
+  /// an interface the current map lacks. Routine chunk acks of a healthy
+  /// distribution deliberately do NOT fire it — the owner uses this to
+  /// reset retry budgets, and resetting them on every ack would turn the
+  /// short-map retry backoff into a hot loop while a node is down.
+  void set_on_progress(std::function<void()> cb) {
+    on_progress_ = std::move(cb);
   }
   /// Emit kMapper trace lines for epoch pushes, retries, repairs and
   /// convergence (golden-trace tests pin the distribution protocol).
@@ -144,6 +176,7 @@ class Mapper {
     std::vector<std::uint8_t> route;
     std::optional<std::uint32_t> parent;  // vertex key the route extends
     std::uint8_t out_port = 0;            // port used at the parent
+    std::uint32_t tries = 0;              // probes already sent, this route
   };
 
   /// ACK-tracked chunk push to one node (current epoch).
@@ -155,7 +188,8 @@ class Mapper {
   };
 
   void send_scout(std::vector<std::uint8_t> route,
-                  std::optional<std::uint32_t> parent, std::uint8_t out_port);
+                  std::optional<std::uint32_t> parent, std::uint8_t out_port,
+                  std::uint32_t tries = 0);
   void on_reply(const net::Packet& pkt);
   void finish_discovery();
   void compute_and_distribute();
@@ -183,6 +217,13 @@ class Mapper {
   /// Home's source route to each node of the current epoch (chunk/probe
   /// transport; pushes must not depend on the stale installed table).
   std::map<net::NodeId, std::vector<std::uint8_t>> home_route_;
+  /// Last route ever known to each node, across epochs (entries are
+  /// overwritten, never erased): the census probe's transport to nodes
+  /// the *current* map no longer contains. Best effort — the fabric may
+  /// have changed under it.
+  std::map<net::NodeId, std::vector<std::uint8_t>> last_route_;
+  /// Nodes this fabric is supposed to contain (see set_expected_roster).
+  std::set<net::NodeId> roster_;
   std::map<net::NodeId, Distribution> dist_;
   std::set<net::NodeId> converged_;
   std::uint64_t dist_gen_ = 0;
@@ -191,10 +232,12 @@ class Mapper {
   bool converge_observed_ = false;
 
   std::function<void(net::NodeId)> on_node_returned_;
+  std::function<void()> on_progress_;
   sim::Trace* trace_ = nullptr;
   metrics::Gauge* m_epoch_ = nullptr;
   metrics::Counter* m_retries_ = nullptr;
   metrics::Counter* m_scrub_repairs_ = nullptr;
+  metrics::Counter* m_census_probes_ = nullptr;
   metrics::Histogram* m_converge_us_ = nullptr;
   MapperStats stats_;
 };

@@ -62,6 +62,7 @@ void Mcp::load() {
   rto_scan_armed_ = false;
   rx_handler_pending_ = false;
   route_epoch_ = 0;  // card reset wiped the table; driver restore re-seeds
+  cancel_announce();  // a reload supersedes any pending announce retries
 
   lanai::Nic::Hooks hooks;
   hooks.on_hdma_done = [this] {
@@ -165,6 +166,7 @@ void Mcp::restart_self() {
   dma_active_ = false;
   rx_handler_pending_ = false;
   rto_scan_armed_ = false;
+  cancel_announce();
   busy_until_ = nic_.event_queue().now();
   arm_it0();
   if (cfg_.mode == McpMode::kFtgm) arm_watchdog();
@@ -187,6 +189,8 @@ void Mcp::bind_metrics(metrics::Registry& reg, const std::string& prefix) {
   m_.l_timer_runs = &reg.counter(p + "l_timer_runs");
   m_.hangs = &reg.counter(p + "hangs");
   m_.busy_ns = &reg.counter(p + "busy_ns");
+  m_.announces = &reg.counter(p + "announces_tx");
+  m_.announce_retries = &reg.counter(p + "announce_retries");
   m_.l_timer_gap = &reg.histogram(p + "l_timer_gap_ns");
 }
 
@@ -1033,24 +1037,64 @@ void Mcp::send_raw(net::Packet pkt) {
 
 void Mcp::host_restore_routes(net::NodeId mapper_node, std::uint32_t epoch) {
   route_epoch_ = epoch;
-  if (epoch == 0 || mapper_node == net::kInvalidNode) return;
-  // Mapper-learnt routes: announce the restored epoch so the mapper can
-  // re-push if a remap happened while this card was down. The announce
-  // rides the just-restored route table; if it is lost (or that route is
-  // itself stale), the mapper's scrub probes repair the node instead.
+  // A card that never heard from a mapper has nowhere to announce to; the
+  // mapper's census probe / a fresh remap is the only way back in. Epoch 0
+  // with a *known* mapper does announce: a card that recovered before ever
+  // completing a route table may still hold partial mirror routes that
+  // reach the mapper host, and the announce is what tells the mapper a
+  // node it may never have mapped exists (DESIGN.md section 11).
+  if (mapper_node == net::kInvalidNode) return;
+  announce_dst_ = mapper_node;
+  announce_epoch_ = epoch;
+  announce_left_ = cfg_.max_announce_retries;
+  announce_wait_ = cfg_.announce_retry_base;
+  ++announce_gen_;
+  send_announce(/*retry=*/false);
+}
+
+void Mcp::send_announce(bool retry) {
+  if (hung_ || !loaded_) return;
+  // Announce the restored epoch so the mapper can re-push (known laggard)
+  // or remap (node the current map never saw). Re-sent with bounded
+  // exponential backoff until a MAP_ROUTE at a current-or-newer epoch
+  // arrives — the only acknowledgement the mapper ever sends back.
   net::Packet ann;
   ann.type = net::PacketType::kMapRouteAck;
   ann.src = nic_.node_id();
-  ann.dst = mapper_node;
-  ann.payload =
-      net::RouteAck{epoch, net::kProbeChunk, epoch, /*announce=*/true}
-          .encode();
+  ann.dst = announce_dst_;
+  ann.payload = net::RouteAck{announce_epoch_, net::kProbeChunk,
+                              announce_epoch_, /*announce=*/true}
+                    .encode();
   ann.seal();
-  if (hung_ || !loaded_) return;
+  ++stats_.announces_sent;
+  metrics::bump(m_.announces);
+  if (retry) {
+    ++stats_.announce_retries;
+    metrics::bump(m_.announce_retries);
+  }
   exec(cfg_.timing.lanai.dispatch_overhead,
        [this, ann = std::move(ann)]() mutable {
          nic_.send_packet(std::move(ann), /*resolve_route=*/true);
        });
+  arm_announce_retry();
+}
+
+void Mcp::arm_announce_retry() {
+  if (announce_left_ == 0) return;
+  --announce_left_;
+  const std::uint64_t g = announce_gen_;
+  nic_.event_queue().schedule_after(announce_wait_, [this, g] {
+    if (g != announce_gen_) return;  // cancelled or superseded
+    if (hung_ || !loaded_) return;
+    send_announce(/*retry=*/true);
+  });
+  announce_wait_ = std::min<sim::Time>(announce_wait_ * 2,
+                                       cfg_.announce_retry_base * 64);
+}
+
+void Mcp::cancel_announce() {
+  announce_left_ = 0;
+  ++announce_gen_;
 }
 
 void Mcp::handle_map_packet(net::Packet pkt) {
@@ -1086,6 +1130,11 @@ void Mcp::handle_map_packet(net::Packet pkt) {
         break;
       }
       const net::RouteUpdate u = net::RouteUpdate::decode(pkt.payload);
+      // The mapper heard us (or was about to push anyway): any MAP_ROUTE
+      // at the announced epoch or newer retires the announce retry timer.
+      if (announce_left_ > 0 && u.epoch >= announce_epoch_) {
+        cancel_announce();
+      }
       // Install unless the chunk is from an epoch older than what this
       // card already holds (a late retransmit racing a newer remap).
       if (u.epoch >= route_epoch_) {

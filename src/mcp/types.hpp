@@ -167,6 +167,8 @@ struct McpStats {
   std::uint64_t send_chunk_runs = 0;
   std::uint64_t send_chunk_bailouts = 0;  // error-path returns, no DMA
   std::uint64_t alarms_fired = 0;
+  std::uint64_t announces_sent = 0;     // post-recovery route announces
+  std::uint64_t announce_retries = 0;   // announces re-sent (no MAP_ROUTE)
   // Persistent across reloads (fault classification reads these).
   std::uint64_t hangs = 0;
   std::uint64_t self_restarts = 0;

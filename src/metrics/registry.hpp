@@ -135,6 +135,17 @@ class Histogram {
     return counts_;
   }
 
+  /// Forget every observation (bounds are kept). For histograms that
+  /// snapshot per-round state (e.g. fabric.route_len_hops holds only the
+  /// current epoch's routes) rather than accumulate forever.
+  void reset() noexcept {
+    std::fill(counts_.begin(), counts_.end(), 0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = std::numeric_limits<std::uint64_t>::max();
+    max_ = 0;
+  }
+
   /// Accumulate another histogram (same bounds: bucket-exact; different
   /// bounds: scalars only, buckets are left untouched).
   void merge(const Histogram& o) noexcept {

@@ -177,10 +177,12 @@ TEST(Mapper, StatsAccountScoutsAndTimeouts) {
   m.run([](bool) {});
   f.eq.run(5'000'000);
   const auto& s = m.stats();
-  // 1 root scout + 7 ports probed from the switch.
-  EXPECT_EQ(s.scouts_sent, 8u);
-  EXPECT_EQ(s.replies, 2u);    // switch + node1 (own port skipped)
-  EXPECT_EQ(s.timeouts, 6u);   // empty switch ports
+  // 1 root scout + 7 ports probed from the switch; each of the 6 empty
+  // ports is probed scout_tries (3) times before it counts as dead.
+  EXPECT_EQ(s.scouts_sent, 20u);
+  EXPECT_EQ(s.replies, 2u);         // switch + node1 (own port skipped)
+  EXPECT_EQ(s.scout_retries, 12u);  // 6 empty ports x 2 re-probes
+  EXPECT_EQ(s.timeouts, 6u);        // empty switch ports, tries exhausted
 }
 
 TEST(Mapper, EmptyFabricReportsFailure) {

@@ -126,6 +126,144 @@ TEST(RouteEpoch, NodeHungThroughARemapConvergesWithoutIntervention) {
             static_cast<std::int64_t>(epoch));
 }
 
+TEST(RouteEpoch, AnnounceRetryHealsThroughALossyWindow) {
+  gm::Cluster cluster(ring4(mcp::McpMode::kFtgm));
+  mapper::FailoverManager::Config fc;
+  // Isolate the announce path: no census (scrub effectively off) and no
+  // blind remap retries. If the fabric converges, the retried announce
+  // did it — there is no other repair channel and no external trigger.
+  fc.scrub_interval = sim::sec(1000);
+  fc.max_remap_retries = 0;
+  mapper::FailoverManager fm(cluster, fc);
+  bring_up(cluster, fm);
+
+  // Node 3 wedges; a trunk it is not adjacent to dies while it is down
+  // (trunk 1 = sw1-sw2; node 3 reaches the mapper home directly over the
+  // closing trunk). The remap runs without node 3: epoch 2, three nodes.
+  cluster.node(3).mcp().inject_hang("test");
+  cluster.node(3).ftd().mark_fault_injected();
+  cluster.run_for(sim::msec(5));
+  cluster.topo().set_cable_down(cluster.fabric().trunk_cables()[1], true);
+  cluster.run_for(sim::msec(50));
+  ASSERT_GE(fm.mapper().epoch(), 2u);
+  ASSERT_EQ(fm.mapper().table().count(3), 0u);
+
+  // 100% loss across every link before the recovery announce goes out:
+  // the first announce (and the first few retries) die on the wire.
+  net::LinkFaults lossy;
+  lossy.drop_prob = 1.0;
+  cluster.topo().set_all_faults(lossy);
+  for (int i = 0;
+       i < 800 && cluster.node(3).mcp().stats().announces_sent == 0; ++i) {
+    cluster.run_for(sim::msec(10));
+  }
+  ASSERT_GE(cluster.node(3).mcp().stats().announces_sent, 1u);
+  cluster.run_for(sim::msec(40));  // a few backoff retries die too
+  cluster.topo().set_all_faults(net::LinkFaults{});
+
+  // The next retry rides a clean fabric; the mapper folds node 3 back in
+  // with a remap. No cable event, no scrub, no test intervention.
+  cluster.run_for(sim::msec(500));
+  EXPECT_GE(cluster.node(3).mcp().stats().announce_retries, 1u);
+  EXPECT_EQ(fm.mapper().interfaces().size(), 4u);
+  EXPECT_GE(fm.mapper().epoch(), 3u);
+  EXPECT_TRUE(fm.converged());
+  EXPECT_TRUE(fm.settled());
+  EXPECT_FALSE(fm.gave_up());
+  EXPECT_EQ(cluster.node(3).route_epoch(), fm.mapper().epoch());
+}
+
+TEST(RouteEpoch, CensusProbeRescuesWhenEveryAnnounceIsLost) {
+  gm::Cluster cluster(ring4(mcp::McpMode::kFtgm));
+  mapper::FailoverManager::Config fc;
+  fc.max_remap_retries = 0;  // isolate census: no blind remap retries
+  mapper::FailoverManager fm(cluster, fc);
+  bring_up(cluster, fm);
+
+  cluster.node(3).mcp().inject_hang("test");
+  cluster.node(3).ftd().mark_fault_injected();
+  cluster.run_for(sim::msec(5));
+  cluster.topo().set_cable_down(cluster.fabric().trunk_cables()[1], true);
+  cluster.run_for(sim::msec(50));
+  ASSERT_GE(fm.mapper().epoch(), 2u);
+  ASSERT_EQ(fm.mapper().table().count(3), 0u);
+
+  // Hold the loss window through the card's ENTIRE announce budget: the
+  // recovered node goes permanently silent from the card side.
+  net::LinkFaults lossy;
+  lossy.drop_prob = 1.0;
+  cluster.topo().set_all_faults(lossy);
+  for (int i = 0;
+       i < 800 && cluster.node(3).mcp().stats().announces_sent == 0; ++i) {
+    cluster.run_for(sim::msec(10));
+  }
+  ASSERT_GE(cluster.node(3).mcp().stats().announces_sent, 1u);
+  for (int i = 0; i < 200 && cluster.node(3).mcp().announce_pending(); ++i) {
+    cluster.run_for(sim::msec(10));
+  }
+  cluster.run_for(sim::msec(200));  // the last armed retry fires and dies
+  ASSERT_FALSE(cluster.node(3).mcp().announce_pending());
+  cluster.topo().set_all_faults(net::LinkFaults{});
+
+  // Only the mapper-side census probe can reach across now: scrub probes
+  // the roster node missing from the map at its last known route, the
+  // answer counts as progress, and a remap folds the node back in.
+  cluster.run_for(sim::sec(1));
+  EXPECT_GE(fm.mapper().stats().census_probes, 1u);
+  EXPECT_GE(cluster.metrics().counter("mapper.census_probes").value(), 1u);
+  EXPECT_EQ(fm.mapper().interfaces().size(), 4u);
+  EXPECT_TRUE(fm.converged());
+  EXPECT_TRUE(fm.settled());
+  EXPECT_EQ(cluster.node(3).route_epoch(), fm.mapper().epoch());
+}
+
+TEST(RouteEpoch, RecoveredCardAnnouncesEvenAtEpochZero) {
+  gm::Cluster cluster(ring4(mcp::McpMode::kFtgm));
+  mapper::FailoverManager::Config fc;
+  fc.scrub_interval = sim::sec(1000);  // no census: the announce must do it
+  fc.max_remap_retries = 0;
+  mapper::FailoverManager fm(cluster, fc);
+
+  // Node 3 wedges before the fabric is ever mapped: the first epoch never
+  // sees it at all.
+  cluster.node(3).mcp().inject_hang("test");
+  cluster.node(3).ftd().mark_fault_injected();
+  cluster.run_for(sim::msec(1));
+  bool ok = false;
+  fm.remap_now([&](bool r) { ok = r; });
+  cluster.run_for(sim::msec(50));
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(fm.mapper().epoch(), 1u);
+  ASSERT_EQ(fm.mapper().table().count(3), 0u);
+
+  // The first epoch-1 chunk reached node 3's host mirror before the card
+  // wedged: the driver knows who the mapper is and holds a partial mirror
+  // (a route to the mapper host), but the epoch never completed — the
+  // installed epoch is still 0. This used to mean "nothing to announce".
+  auto to_mapper = cluster.fabric().route(3, 0);
+  ASSERT_TRUE(to_mapper.has_value());
+  net::RouteUpdate partial{1, 0, 2, {{0, *to_mapper}}};
+  cluster.node(3).driver().map_route_update(partial, 0);
+  ASSERT_EQ(cluster.node(3).route_epoch(), 0u);
+
+  // Recovery restores the card at epoch 0. The announce must go out
+  // anyway: the mapper never mapped this node, so no scrub or census
+  // probe will ever look for it — the announce is the only way back in.
+  // (hung() clears at the reload step; the announce only goes out at the
+  // route-restore step ~600 ms later — poll for the announce itself.)
+  for (int i = 0;
+       i < 800 && cluster.node(3).mcp().stats().announces_sent == 0; ++i) {
+    cluster.run_for(sim::msec(10));
+  }
+  ASSERT_FALSE(cluster.node(3).mcp().hung());
+  cluster.run_for(sim::msec(500));
+  EXPECT_GE(cluster.node(3).mcp().stats().announces_sent, 1u);
+  EXPECT_EQ(fm.mapper().interfaces().size(), 4u);
+  EXPECT_GE(fm.mapper().epoch(), 2u);
+  EXPECT_TRUE(fm.converged());
+  EXPECT_EQ(cluster.node(3).route_epoch(), fm.mapper().epoch());
+}
+
 TEST(RouteEpoch, StaleEpochGatesSendsWithRecovering) {
   gm::Cluster cluster(ring4(mcp::McpMode::kGm));
   mapper::FailoverManager fm(cluster);

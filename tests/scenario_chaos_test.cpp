@@ -174,5 +174,83 @@ TEST(ScenarioChaos, MixedHangCableKillAndLossyWindow) {
   EXPECT_EQ(fi::ScenarioRunner::run(s).digest, r.digest);
 }
 
+// ---- announce-loss profiles (self-healing convergence) -----------------
+
+// A node that recovers inside a total-loss window: its announce (and some
+// or all retries) die on the wire, and no cable event ever arrives after
+// the recovery to bail the control plane out. Convergence must come from
+// the card's announce retry backoff or the mapper's census probe alone.
+//
+// Shape: a cable kill maps the fabric while everyone is alive (so the
+// victim has a last-known route for census), the victim wedges, the cable
+// restore remaps WITHOUT it, and a 100% drop window opens over the FTD
+// recovery. `window_ms` decides who heals it: shorter than the announce
+// retry span (~320 ms of backoff) leaves retries to land after the window;
+// longer kills the whole announce budget and leaves only census.
+fi::Scenario announce_loss(std::uint64_t seed, sim::Time window_len) {
+  fi::Scenario s;
+  s.seed = seed;
+  s.nodes = 8;
+  s.fabric = net::FabricPreset::kFatTree;
+  s.msgs = 15;  // streams drain well before the control-plane drama
+  using K = fi::ScenarioEvent::Kind;
+  fi::ScenarioEvent down;
+  down.kind = K::kCableDown;
+  down.cable = 1;
+  down.at = fi::Scenario::kWarmup + sim::msec(100);
+  fi::ScenarioEvent hang;
+  hang.kind = K::kNicHang;
+  hang.node = 5;
+  hang.at = fi::Scenario::kWarmup + sim::msec(150);
+  fi::ScenarioEvent up;
+  up.kind = K::kCableUp;
+  up.cable = 1;
+  up.at = fi::Scenario::kWarmup + sim::msec(160);  // node 5 still hung
+  fi::ScenarioEvent win;  // covers the recovery announce (~hang + 730 ms)
+  win.kind = K::kFaultWindow;
+  win.at = hang.at + sim::msec(500);
+  win.duration = window_len;
+  win.drop = 1.0;
+  s.events = {down, hang, up, win};
+  return s;
+}
+
+class AnnounceLossSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnnounceLossSweep, RetriedAnnounceConvergesThroughTotalLoss) {
+  // Window ends mid-backoff: a late announce retry is the first packet
+  // out of the recovered card that survives, and it alone must fold the
+  // node back into the map (route-convergence would fail the run if not).
+  const fi::Scenario s = announce_loss(GetParam(), sim::msec(400));
+  const fi::RunReport r = fi::ScenarioRunner::run(s);
+  if (r.failed()) {
+    report_and_dump(s, r, "announce_loss_" + std::to_string(GetParam()));
+    return;
+  }
+  EXPECT_EQ(r.recoveries, 1u);
+  EXPECT_GE(r.remaps, 3u);  // kill + restore + fold-in
+  EXPECT_EQ(r.deliveries, 8u * 15u);
+  EXPECT_EQ(fi::ScenarioRunner::run(s).digest, r.digest);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnnounceLossSweep,
+                         ::testing::Values<std::uint64_t>(23, 24, 25, 26));
+
+TEST(ScenarioChaos, CensusProbeConvergesWhenTheWholeAnnounceBudgetIsLost) {
+  // Window outlives every announce retry (~320 ms span): the card goes
+  // permanently silent from its side, and the mapper-side census probe at
+  // the node's last-known route is the only repair channel left.
+  const fi::Scenario s = announce_loss(29, sim::msec(1300));
+  const fi::RunReport r = fi::ScenarioRunner::run(s);
+  if (r.failed()) {
+    report_and_dump(s, r, "announce_budget_lost");
+    return;
+  }
+  EXPECT_EQ(r.recoveries, 1u);
+  EXPECT_GE(r.remaps, 3u);
+  EXPECT_EQ(r.deliveries, 8u * 15u);
+  EXPECT_EQ(fi::ScenarioRunner::run(s).digest, r.digest);
+}
+
 }  // namespace
 }  // namespace myri

@@ -74,6 +74,32 @@ TEST(Scenario, CableKillOnFatTreeRemapsAndDelivers) {
   EXPECT_GE(r.remaps, 1u);
 }
 
+TEST(Scenario, RosterInvariantFlagsANodeTheMapNeverDiscovered) {
+  // An open chain cut behind the mapper home: the far side stays up but
+  // can never be discovered, announced, or census-probed. The epoch loop
+  // alone is blind to this (an unmapped node has no table entry to lag
+  // behind); the roster interface count must fail the run.
+  fi::Scenario s;
+  s.seed = 31;
+  s.nodes = 4;
+  s.fabric = net::FabricPreset::kLine;
+  s.radix = 3;  // one host per switch: cable 1 cuts {0,1} from {2,3}
+  s.msgs = 6;   // all streams drain long before the cut
+  fi::ScenarioEvent cut;
+  cut.kind = fi::ScenarioEvent::Kind::kCableDown;
+  cut.cable = 1;
+  cut.at = fi::Scenario::kWarmup + sim::msec(50);
+  s.events.push_back(cut);
+
+  const fi::RunReport r = fi::ScenarioRunner::run(s);
+  EXPECT_TRUE(r.delivered);  // the workload itself finished cleanly
+  ASSERT_TRUE(r.failed());
+  EXPECT_EQ(r.violation, "route-convergence");
+  EXPECT_NE(r.violation_detail.find("absent from the final map"),
+            std::string::npos)
+      << r.violation_detail;
+}
+
 TEST(Scenario, RejectsInvalidScenario) {
   fi::Scenario s;
   s.nodes = 1;  // a ring workload needs at least 2
