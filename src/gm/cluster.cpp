@@ -38,15 +38,14 @@ Cluster::Cluster(const ClusterConfig& cfg) : rng_(cfg.seed), cfg_(cfg) {
   if (cfg.install_routes) {
     // Pristine routes straight from the builder's graph (the mapper would
     // compute the same ones on an undamaged fabric, minus the discovery).
+    // One BFS per source row: the per-pair route() would be O(n²) BFS,
+    // which dominates construction from ~512 nodes up.
     for (int a = 0; a < cfg.nodes; ++a) {
+      auto row = fabric_->routes_from(static_cast<net::NodeId>(a));
       for (int b = 0; b < cfg.nodes; ++b) {
-        if (a == b) continue;
-        auto r = fabric_->route(static_cast<net::NodeId>(a),
-                                static_cast<net::NodeId>(b));
-        if (r) {
-          nodes_[a]->install_route(static_cast<net::NodeId>(b),
-                                   std::move(*r));
-        }
+        if (a == b || row[static_cast<std::size_t>(b)].empty()) continue;
+        nodes_[a]->install_route(static_cast<net::NodeId>(b),
+                                 std::move(row[static_cast<std::size_t>(b)]));
       }
     }
   }

@@ -74,16 +74,30 @@ class Cluster {
   }
 
   /// Run the simulation for `d` of virtual time.
-  void run_for(sim::Time d) { eq_.run_until(eq_.now() + d); }
+  void run_for(sim::Time d) {
+    eq_.run_until(eq_.now() + d);
+    publish_eq_metrics();
+  }
   /// Run until the event queue drains, bounded against runaway loops by
   /// ClusterConfig::max_events (or an explicit non-zero override).
   std::size_t run_until_idle(std::size_t max_events = 0) {
-    return eq_.run(max_events != 0 ? max_events : cfg_.max_events);
+    const std::size_t n = eq_.run(max_events != 0 ? max_events : cfg_.max_events);
+    publish_eq_metrics();
+    return n;
   }
 
   void set_trace(sim::Trace* t);
 
  private:
+  // Event-core health, refreshed after every run slice: compaction sweeps
+  // (cancelled-entry eviction) and the dead-entry backlog.
+  void publish_eq_metrics() {
+    metrics_.gauge("sim.eq_compactions")
+        .set(static_cast<std::int64_t>(eq_.compactions()));
+    metrics_.gauge("sim.eq_cancelled_pending")
+        .set(static_cast<std::int64_t>(eq_.cancelled_pending()));
+  }
+
   sim::EventQueue eq_;
   sim::Rng rng_;
   ClusterConfig cfg_;

@@ -15,6 +15,11 @@ constexpr std::uint32_t vertex_key(net::DeviceKind k, std::uint16_t id) {
 /// MAP_ROUTE payloads are bounded by the packet size; chunk the table.
 constexpr std::size_t kChunk = 40;
 
+/// Unknown-port census probes per scrub pass (see scrub()): bounds the
+/// sweep's per-pass cost on big fabrics; the rotating cursor covers the
+/// rest on later passes.
+constexpr std::size_t kCensusSweepMax = 32;
+
 std::vector<std::uint64_t> converge_us_bounds() {
   // Convergence is dominated by ack round trips and retry backoff: tens
   // of microseconds on a quiet fabric, tens of milliseconds when chunks
@@ -242,6 +247,7 @@ std::optional<std::vector<std::uint8_t>> Mapper::route_between(
 
 void Mapper::compute_and_distribute() {
   ++epoch_;
+  scrubs_since_map_ = 0;
   if (m_epoch_) m_epoch_->set(epoch_);
   table_.clear();
   home_route_.clear();
@@ -258,7 +264,16 @@ void Mapper::compute_and_distribute() {
     auto hit = home_routes.find(vertex_key(net::DeviceKind::kInterface, x));
     if (hit != home_routes.end()) {
       home_route_[x] = hit->second;
-      last_route_[x] = hit->second;  // census transport, survives epochs
+      last_route_[x] = hit->second;  // census fallback, survives epochs
+    }
+    // Remember the attach point (switch, port) across epochs: the census
+    // re-derives probe routes to it from whatever the graph looks like
+    // later, instead of replaying bytes frozen at this epoch.
+    const auto dit =
+        devices_.find(vertex_key(net::DeviceKind::kInterface, x));
+    if (dit != devices_.end() && !dit->second.neighbours.empty()) {
+      const auto& [nb_key, nb_port] = dit->second.neighbours.begin()->second;
+      last_attach_[x] = {nb_key, nb_port};
     }
   }
 
@@ -292,6 +307,33 @@ void Mapper::compute_and_distribute() {
         std::to_string(table_.size()) + " node(s), " +
         std::to_string(dist_.size()) + " remote push(es)");
   check_distribution_done();
+}
+
+bool Mapper::fold_in(net::NodeId x) {
+  if (running_) return false;  // discovery in flight: it re-scouts anyway
+  const auto ait = last_attach_.find(x);
+  if (ait == last_attach_.end()) return false;
+  const auto [sw_key, sw_port] = ait->second;
+  const auto dit = devices_.find(sw_key);
+  if (dit == devices_.end()) return false;
+  const std::uint32_t vkey = vertex_key(net::DeviceKind::kInterface, x);
+  const auto nb = dit->second.neighbours.find(sw_port);
+  if (nb != dit->second.neighbours.end() && nb->second.first != vkey) {
+    return false;  // someone else holds that port now: view is stale
+  }
+  if (devices_.count(vkey) == 0) {
+    DeviceInfo d;
+    d.ref = {net::DeviceKind::kInterface, x};
+    d.ports = 1;
+    d.scout_route = dit->second.scout_route;
+    d.scout_route.push_back(sw_port);
+    devices_[vkey] = std::move(d);
+  }
+  dit->second.neighbours[sw_port] = {vkey, 0};
+  devices_[vkey].neighbours[0] = {sw_key, sw_port};
+  ++stats_.census_folds;
+  compute_and_distribute();
+  return true;
 }
 
 void Mapper::start_distribution(net::NodeId x) {
@@ -415,14 +457,21 @@ void Mapper::on_route_ack(const net::Packet& pkt) {
     // Scrub probe or announce found a laggard the map knows: repair it.
     push_routes(node);
   } else if (a.announce || a.epoch == epoch_) {
-    // A node the current map never saw (hung through discovery) is back —
-    // it announced, or answered a census probe we sent at this epoch.
-    // Only a remap can fold it in again.
+    // A node the current map never saw (hung through discovery, or its
+    // scout replies lost to link loss) is back — it announced, or
+    // answered a census probe we sent at this epoch. Re-running full
+    // discovery here is how remap storms perpetuate under sustained
+    // loss: every re-scout can lose a different node's replies, which
+    // the next census folds back in, forever. The answer itself proves
+    // where the node sits (the probe rode a current-graph route to its
+    // attach port), so graft it in incrementally; only fall back to a
+    // full remap when the attach point is unknown or contested.
+    const bool folded = fold_in(node);
     trace("node " + std::to_string(node) + ": " +
           (a.announce ? "announced" : "answered census probe,") +
           " installed epoch " + std::to_string(a.installed_epoch) +
-          ", not in map -> remap");
-    if (on_node_returned_) on_node_returned_(node);
+          (folded ? ", not in map -> fold in" : ", not in map -> remap"));
+    if (!folded && on_node_returned_) on_node_returned_(node);
   }
   if (progress && on_progress_) on_progress_();
 }
@@ -469,6 +518,7 @@ std::vector<net::NodeId> Mapper::stale_nodes() const {
 
 void Mapper::scrub() {
   if (epoch_ == 0) return;
+  ++scrubs_since_map_;
   std::size_t probes = 0;
   for (const auto& [x, entries] : table_) {
     if (x == home_.id() || converged_.count(x) != 0 || dist_.count(x) != 0) {
@@ -489,30 +539,100 @@ void Mapper::scrub() {
   }
   // Census: the roster says these nodes exist but the current map has no
   // trace of them (hung through every remap, recovery announce lost).
-  // Probe them at their last known route; an answer arrives as an ack
-  // from a node not in table_, which triggers on_node_returned_ -> remap.
-  // Nodes never mapped at all have no last route and stay unreachable
-  // from this side — their own (retried) announce is the only way in.
+  // An answer arrives as an ack from a node not in table_, which triggers
+  // on_node_returned_ -> remap.
   std::size_t census = 0;
+  bool need_sweep = false;
+  std::vector<net::NodeId> missing;
   for (const net::NodeId x : roster_) {
-    if (x == home_.id() || table_.count(x) != 0) continue;
-    auto rit = last_route_.find(x);
-    if (rit == last_route_.end()) continue;
+    if (x != home_.id() && table_.count(x) == 0) missing.push_back(x);
+  }
+  std::map<std::uint32_t, std::vector<std::uint8_t>> fresh;
+  if (!missing.empty()) {
+    // Probe routes are re-derived from the *current* switch graph every
+    // pass: bytes frozen at the epoch the node vanished in may no longer
+    // reach its attach point after the fabric was remapped around faults.
+    fresh = routes_from(vertex_key(net::DeviceKind::kInterface, home_.id()));
+  }
+  const auto send_probe = [&](net::NodeId dst,
+                              std::vector<std::uint8_t> route) {
     net::Packet pkt;
     pkt.type = net::PacketType::kMapRoute;
     pkt.src = home_.id();
-    pkt.dst = x;
-    pkt.route = rit->second;
+    pkt.dst = dst;
+    pkt.route = std::move(route);
     pkt.payload = net::RouteUpdate{epoch_, 0, 0, {}}.encode();
     pkt.seal();
+    home_.mcp().send_raw(std::move(pkt));
+  };
+  for (const net::NodeId x : missing) {
+    std::vector<std::uint8_t> route;
+    const auto ait = last_attach_.find(x);
+    if (ait != last_attach_.end() && devices_.count(ait->second.first) != 0) {
+      // Current-graph route to the node's last attach switch, plus the
+      // host port it sat on.
+      const auto rit = fresh.find(ait->second.first);
+      if (rit != fresh.end()) {
+        route = rit->second;
+        route.push_back(ait->second.second);
+      }
+    }
+    if (route.empty()) {
+      // Attach switch itself missing from the current map: fall back to
+      // the last route ever known (best effort).
+      const auto lit = last_route_.find(x);
+      if (lit != last_route_.end()) route = lit->second;
+    }
+    if (route.empty()) {
+      need_sweep = true;  // never mapped: no address for it at all
+      continue;
+    }
     ++stats_.census_probes;
     metrics::bump(m_census_probes_);
     ++census;
-    home_.mcp().send_raw(std::move(pkt));
+    send_probe(x, std::move(route));
   }
-  if (probes > 0 || census > 0) {
+  // Unknown-port sweep: a roster node never present in any map has no
+  // attach point and no last route — the only transport left is to knock
+  // on switch ports the current map shows no neighbour behind. Probes
+  // into genuinely dark ports are dropped by the fabric; a live card
+  // answers with an ack and gets folded back in. A rotating cursor plus
+  // a per-pass cap keeps big fabrics' sweeps cheap and deterministic.
+  // The sweep is a last resort: while mapping runs are still landing
+  // (storms under loss), every run re-scouts all ports anyway, so only
+  // sweep once the map has survived two full scrub passes unchanged.
+  std::size_t sweep = 0;
+  if (need_sweep && scrubs_since_map_ >= 2) {
+    std::vector<std::vector<std::uint8_t>> candidates;
+    for (const auto& [key, dev] : devices_) {
+      if (dev.ref.kind != net::DeviceKind::kSwitch) continue;
+      const auto rit = fresh.find(key);
+      if (rit == fresh.end()) continue;
+      for (std::uint8_t p = 0; p < dev.ports; ++p) {
+        if (dev.neighbours.count(p) != 0) continue;
+        std::vector<std::uint8_t> route = rit->second;
+        route.push_back(p);
+        candidates.push_back(std::move(route));
+      }
+    }
+    if (!candidates.empty()) {
+      const std::size_t cap =
+          std::min<std::size_t>(candidates.size(), kCensusSweepMax);
+      for (std::size_t i = 0; i < cap; ++i) {
+        std::vector<std::uint8_t> route =
+            candidates[(sweep_cursor_ + i) % candidates.size()];
+        ++stats_.census_sweep_probes;
+        metrics::bump(m_census_probes_);
+        ++sweep;
+        send_probe(net::kInvalidNode, std::move(route));
+      }
+      sweep_cursor_ = (sweep_cursor_ + cap) % candidates.size();
+    }
+  }
+  if (probes > 0 || census > 0 || sweep > 0) {
     trace("scrub: " + std::to_string(probes) + " probe(s), " +
-          std::to_string(census) + " census probe(s) @ epoch " +
+          std::to_string(census) + " census probe(s), " +
+          std::to_string(sweep) + " sweep probe(s) @ epoch " +
           std::to_string(epoch_));
   }
 }

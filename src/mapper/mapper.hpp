@@ -68,6 +68,13 @@ struct MapperStats {
   std::uint64_t repushes = 0;       // full-table re-pushes (scrub/announce)
   std::uint64_t scrub_probes = 0;   // epoch probes sent by scrub()
   std::uint64_t census_probes = 0;  // probes to expected-but-unmapped nodes
+  /// Census probes sent into unmapped switch ports: the transport of last
+  /// resort for roster nodes *never* seen in any map (no known route at
+  /// all — only knocking on dark ports can reach them).
+  std::uint64_t census_sweep_probes = 0;
+  /// Missing nodes grafted back into the map at their recorded attach
+  /// point after answering a census probe/announcing — no re-discovery.
+  std::uint64_t census_folds = 0;
 };
 
 class Mapper {
@@ -193,6 +200,11 @@ class Mapper {
   void on_reply(const net::Packet& pkt);
   void finish_discovery();
   void compute_and_distribute();
+  /// Graft a returned-but-unmapped node back into the device graph at its
+  /// recorded attach point and recompute/push routes — no re-discovery.
+  /// Returns false (caller falls back to a full remap) when the attach
+  /// point is unknown, absent from the current graph, or contested.
+  bool fold_in(net::NodeId x);
   [[nodiscard]] std::map<std::uint32_t, std::vector<std::uint8_t>>
   routes_from(std::uint32_t src_key) const;
 
@@ -218,10 +230,23 @@ class Mapper {
   /// transport; pushes must not depend on the stale installed table).
   std::map<net::NodeId, std::vector<std::uint8_t>> home_route_;
   /// Last route ever known to each node, across epochs (entries are
-  /// overwritten, never erased): the census probe's transport to nodes
-  /// the *current* map no longer contains. Best effort — the fabric may
-  /// have changed under it.
+  /// overwritten, never erased): the census probe's transport of last
+  /// resort when the node's old attach switch has left the map too. Best
+  /// effort — the fabric may have changed under it.
   std::map<net::NodeId, std::vector<std::uint8_t>> last_route_;
+  /// Where each node was last attached: (switch vertex key, switch port),
+  /// across epochs. Census probes are re-derived from the *current*
+  /// switch graph to this attach point, so they survive route churn that
+  /// invalidates the frozen last_route_ bytes.
+  std::map<net::NodeId, std::pair<std::uint32_t, std::uint8_t>> last_attach_;
+  /// Rotating cursor over (switch key, port) for the unknown-port census
+  /// sweep, so successive scrubs cover a big fabric's dark ports fairly.
+  std::size_t sweep_cursor_ = 0;
+  /// Scrub passes since the last mapping run. While remaps are still
+  /// landing, every run re-scouts the whole fabric, so dark-port sweeping
+  /// would only add probe churn; the sweep waits until the control plane
+  /// has been quiet for a couple of passes with roster nodes still dark.
+  std::size_t scrubs_since_map_ = 0;
   /// Nodes this fabric is supposed to contain (see set_expected_roster).
   std::set<net::NodeId> roster_;
   std::map<net::NodeId, Distribution> dist_;

@@ -13,6 +13,7 @@ const char* to_string(FabricPreset p) {
     case FabricPreset::kLine: return "line";
     case FabricPreset::kRing: return "ring";
     case FabricPreset::kFatTree: return "fat-tree";
+    case FabricPreset::kFatTree3: return "fat-tree3";
   }
   return "?";
 }
@@ -22,6 +23,7 @@ std::optional<FabricPreset> parse_fabric_preset(std::string_view s) {
   if (s == "line") return FabricPreset::kLine;
   if (s == "ring") return FabricPreset::kRing;
   if (s == "fat-tree" || s == "fattree") return FabricPreset::kFatTree;
+  if (s == "fat-tree3" || s == "fattree3") return FabricPreset::kFatTree3;
   return std::nullopt;
 }
 
@@ -43,6 +45,13 @@ std::size_t FabricBuilder::capacity(const FabricConfig& cfg) {
       if (cfg.radix < 2) return 0;
       // One spine port per leaf; leaves bounded by the spine port counter.
       return static_cast<std::size_t>(cfg.radix / 2) * 255;
+    case FabricPreset::kFatTree3: {
+      if (cfg.radix < 2) return 0;
+      // Canonical k-ary fat-tree: k pods of k/2 edge switches with k/2
+      // hosts each — k³/4 endpoints (radix 16 ⇒ 1024).
+      const std::size_t half = cfg.radix / 2;
+      return half * half * cfg.radix;
+    }
   }
   return 0;
 }
@@ -63,6 +72,7 @@ FabricBuilder::FabricBuilder(Topology& topo, FabricConfig cfg)
     case FabricPreset::kLine: build_chain(false); break;
     case FabricPreset::kRing: build_chain(true); break;
     case FabricPreset::kFatTree: build_fat_tree(); break;
+    case FabricPreset::kFatTree3: build_fat_tree3(); break;
   }
   compute_tiers();
 }
@@ -144,11 +154,73 @@ void FabricBuilder::build_fat_tree() {
   }
 }
 
+void FabricBuilder::build_fat_tree3() {
+  // Canonical k-ary fat-tree with k = radix. Pods hold k/2 edge switches
+  // (low ports: hosts, high ports: uplinks to every agg in the pod) and
+  // k/2 agg switches (low ports: one per edge, high ports: uplinks to
+  // cores). Core c of agg-column a cables port p to pod p's agg a — the
+  // (a, c) core grid gives (k/2)² disjoint spines between any two pods.
+  const int half = cfg_.radix / 2;
+  const int hosts_per_pod = half * half;
+  const int pods = (cfg_.nodes + hosts_per_pod - 1) / hosts_per_pod;
+  for (int p = 0; p < pods; ++p) {
+    for (int e = 0; e < half; ++e) {
+      add_switch(cfg_.radix,
+                 "p" + std::to_string(p) + "e" + std::to_string(e));
+    }
+    for (int a = 0; a < half; ++a) {
+      add_switch(cfg_.radix,
+                 "p" + std::to_string(p) + "a" + std::to_string(a));
+    }
+  }
+  const int core_base = pods * 2 * half;
+  for (int a = 0; a < half; ++a) {
+    for (int c = 0; c < half; ++c) {
+      add_switch(cfg_.radix,
+                 "core" + std::to_string(a) + "x" + std::to_string(c));
+    }
+  }
+  for (int p = 0; p < pods; ++p) {
+    const int base = p * 2 * half;
+    for (int e = 0; e < half; ++e) {
+      for (int a = 0; a < half; ++a) {
+        add_trunk(static_cast<std::uint16_t>(base + e),
+                  static_cast<std::uint8_t>(half + a),
+                  static_cast<std::uint16_t>(base + half + a),
+                  static_cast<std::uint8_t>(e));
+      }
+    }
+  }
+  for (int p = 0; p < pods; ++p) {
+    const int base = p * 2 * half;
+    for (int a = 0; a < half; ++a) {
+      for (int c = 0; c < half; ++c) {
+        add_trunk(static_cast<std::uint16_t>(base + half + a),
+                  static_cast<std::uint8_t>(half + c),
+                  static_cast<std::uint16_t>(core_base + a * half + c),
+                  static_cast<std::uint8_t>(p));
+      }
+    }
+  }
+  for (int i = 0; i < cfg_.nodes; ++i) {
+    const int p = i / hosts_per_pod;
+    const int e = (i % hosts_per_pod) / half;
+    placements_.push_back({sw_ids_[static_cast<std::size_t>(p * 2 * half + e)],
+                           static_cast<std::uint8_t>(i % half)});
+    local_index_.push_back(static_cast<std::uint16_t>(p * 2 * half + e));
+  }
+}
+
 void FabricBuilder::compute_tiers() {
   // Route length (bytes) == switches traversed == switch-graph path edges
   // + 1; tiers_ is the worst case over switches that actually host nodes.
   int worst = 1;
-  for (const std::uint16_t src : local_index_) {
+  // One BFS per distinct hosting switch, not per node — many nodes share
+  // an edge switch at scale.
+  std::vector<std::uint16_t> hosting(local_index_);
+  std::sort(hosting.begin(), hosting.end());
+  hosting.erase(std::unique(hosting.begin(), hosting.end()), hosting.end());
+  for (const std::uint16_t src : hosting) {
     std::vector<int> dist(adj_.size(), -1);
     std::deque<std::uint16_t> q{src};
     dist[src] = 0;
@@ -161,7 +233,7 @@ void FabricBuilder::compute_tiers() {
         q.push_back(e.to);
       }
     }
-    for (const std::uint16_t dst : local_index_) {
+    for (const std::uint16_t dst : hosting) {
       if (dist[dst] >= 0) worst = std::max(worst, dist[dst] + 1);
     }
   }
@@ -200,6 +272,40 @@ std::optional<std::vector<std::uint8_t>> FabricBuilder::route(
     rev.push_back(prev[cur]->out_port);
   }
   return std::vector<std::uint8_t>(rev.rbegin(), rev.rend());
+}
+
+std::vector<std::vector<std::uint8_t>> FabricBuilder::routes_from(
+    NodeId a) const {
+  std::vector<std::vector<std::uint8_t>> out(placements_.size());
+  if (a >= placements_.size()) return out;
+  const std::uint16_t src = local_index_[a];
+  struct Hop {
+    std::uint16_t parent;
+    std::uint8_t out_port;  // port taken at the parent
+  };
+  std::vector<std::optional<Hop>> prev(adj_.size());
+  std::deque<std::uint16_t> q{src};
+  prev[src] = Hop{src, 0};
+  while (!q.empty()) {
+    const std::uint16_t u = q.front();
+    q.pop_front();
+    for (const Edge& e : adj_[u]) {
+      if (prev[e.to].has_value()) continue;
+      prev[e.to] = Hop{u, e.out_port};
+      q.push_back(e.to);
+    }
+  }
+  for (std::size_t b = 0; b < placements_.size(); ++b) {
+    if (b == a) continue;
+    const std::uint16_t dst = local_index_[b];
+    if (!prev[dst].has_value()) continue;
+    std::vector<std::uint8_t> rev{placements_[b].port};
+    for (std::uint16_t cur = dst; cur != src; cur = prev[cur]->parent) {
+      rev.push_back(prev[cur]->out_port);
+    }
+    out[b].assign(rev.rbegin(), rev.rend());
+  }
+  return out;
 }
 
 }  // namespace myri::net

@@ -24,6 +24,7 @@ enum class FabricPreset : std::uint8_t {
   kLine,          // chain of switches, no redundancy
   kRing,          // chain closed into a loop: one redundant path
   kFatTree,       // 2-level Clos: leaf switches + radix/2 spines
+  kFatTree3,      // 3-level Clos (k-ary fat-tree): edge/agg pods + cores
 };
 
 [[nodiscard]] const char* to_string(FabricPreset p);
@@ -75,6 +76,14 @@ class FabricBuilder {
   [[nodiscard]] std::optional<std::vector<std::uint8_t>> route(
       NodeId a, NodeId b) const;
 
+  /// Pristine shortest routes from `a` to every other endpoint, indexed
+  /// by destination node id (empty vector: self or unreachable). One BFS
+  /// for the whole row — installing full route tables on an n-node
+  /// cluster is O(n · graph) instead of the O(n² · graph) of per-pair
+  /// route() calls, which matters from ~512 endpoints up.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> routes_from(
+      NodeId a) const;
+
   /// Max endpoints the preset supports (0 = unsatisfiable config).
   [[nodiscard]] static std::size_t capacity(const FabricConfig& cfg);
 
@@ -87,6 +96,7 @@ class FabricBuilder {
   void build_single_switch();
   void build_chain(bool closed);
   void build_fat_tree();
+  void build_fat_tree3();
   std::uint16_t add_switch(std::uint8_t ports, std::string name);
   void add_trunk(std::uint16_t a, std::uint8_t port_a, std::uint16_t b,
                  std::uint8_t port_b);

@@ -4,91 +4,237 @@
 
 namespace myri::sim {
 
-struct EventQueue::Handle::Entry {
-  Time at = 0;
-  std::uint64_t seq = 0;
-  Callback cb;
-  bool cancelled = false;
-  bool fired = false;
-  std::size_t* live_counter = nullptr;  // owner's live-event count
+// ---- event slab ----------------------------------------------------------
+//
+// Every scheduled event occupies one pooled Entry; the closure is stored
+// inline (InlineCallback), so the steady-state hot path does zero heap
+// allocation. Slots are recycled through a free list; each reuse bumps the
+// slot's generation so outstanding Handles (and any queue item referencing
+// the old incarnation) go inert instead of touching the new occupant. The
+// slab is shared_ptr-owned by the queue and weak_ptr-referenced by Handles,
+// which makes a Handle outliving its queue a safe no-op.
+
+struct EventQueue::Slab {
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  enum class State : std::uint8_t { kFree, kPending, kCancelled };
+
+  struct Entry {
+    Time at = 0;
+    std::uint64_t seq = 0;
+    Callback cb;
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = kNone;
+    State state = State::kFree;
+  };
+
+  std::vector<Entry> pool;
+  std::uint32_t free_head = kNone;
+  std::size_t live = 0;       // pending (non-cancelled) events
+  std::size_t cancelled = 0;  // cancelled entries not yet reclaimed
 };
 
 void EventQueue::Handle::cancel() {
-  if (auto e = entry_.lock()) {
-    if (!e->fired && !e->cancelled) {
-      e->cancelled = true;
-      e->cb = nullptr;  // release captured resources eagerly
-      if (e->live_counter != nullptr) --*e->live_counter;
+  auto s = slab_.lock();
+  if (!s || slot_ >= s->pool.size()) return;
+  Slab::Entry& e = s->pool[slot_];
+  if (e.gen != gen_ || e.state != Slab::State::kPending) return;
+  e.state = Slab::State::kCancelled;
+  e.cb = nullptr;  // release captured resources eagerly
+  --s->live;
+  ++s->cancelled;
+}
+
+bool EventQueue::Handle::pending() const {
+  auto s = slab_.lock();
+  if (!s || slot_ >= s->pool.size()) return false;
+  const Slab::Entry& e = s->pool[slot_];
+  return e.gen == gen_ && e.state == Slab::State::kPending;
+}
+
+namespace {
+
+// "Later" ordering on (at, seq). Used three ways: sorting a bucket
+// descending (so it drains ascending from the back), as the comparator
+// that makes std::push_heap a min-heap, and for the sorted insert into
+// the currently-draining bucket.
+constexpr auto kLater = [](const auto& a, const auto& b) {
+  if (a.at != b.at) return a.at > b.at;
+  return a.seq > b.seq;
+};
+
+// Compaction triggers once at least this many cancelled entries have
+// accumulated AND they outnumber the live events.
+constexpr std::size_t kCompactMin = 1024;
+
+}  // namespace
+
+EventQueue::EventQueue()
+    : slab_(std::make_shared<Slab>()), buckets_(kBucketCount) {
+  slab_->pool.reserve(1024);
+}
+
+EventQueue::~EventQueue() = default;
+
+bool EventQueue::empty() const noexcept { return slab_->live == 0; }
+
+std::size_t EventQueue::pending_events() const noexcept {
+  return slab_->live;
+}
+
+std::size_t EventQueue::cancelled_pending() const noexcept {
+  return slab_->cancelled;
+}
+
+std::uint32_t EventQueue::alloc_slot() {
+  Slab& s = *slab_;
+  if (s.free_head != Slab::kNone) {
+    const std::uint32_t slot = s.free_head;
+    s.free_head = s.pool[slot].next_free;
+    return slot;
+  }
+  s.pool.emplace_back();
+  return static_cast<std::uint32_t>(s.pool.size() - 1);
+}
+
+void EventQueue::free_slot(std::uint32_t slot) {
+  Slab& s = *slab_;
+  Slab::Entry& e = s.pool[slot];
+  ++e.gen;  // outstanding handles and queue items go stale
+  e.state = Slab::State::kFree;
+  e.cb = nullptr;
+  e.next_free = s.free_head;
+  s.free_head = slot;
+}
+
+EventQueue::Handle EventQueue::schedule_at(Time at, Callback cb) {
+  at = std::max(at, now_);
+  const std::uint32_t slot = alloc_slot();
+  Slab::Entry& e = slab_->pool[slot];
+  e.at = at;
+  e.seq = next_seq_++;
+  e.cb = std::move(cb);
+  e.state = Slab::State::kPending;
+  ++slab_->live;
+  const Handle h(slab_, slot, e.gen);
+  place_item(Item{at, e.seq, slot, e.gen});
+  maybe_compact();
+  return h;
+}
+
+void EventQueue::place_item(const Item& it) {
+  // Invariant: every pending event satisfies bucket_of(at) >= cur_bn_
+  // (schedule_at clamps to now_, and the cursor never passes the bucket
+  // of the current clock). Within the ring window each absolute bucket
+  // number maps to a distinct slot, so a bucket only ever mixes events
+  // of one bucket number.
+  const std::uint64_t bn = bucket_of(it.at);
+  if (bn < cur_bn_ + kBucketCount) {
+    auto& b = buckets_[bn & kBucketMask];
+    if (cur_sorted_ && bn == cur_bn_) {
+      // The current bucket drains ascending from the back; keep it
+      // sorted descending on insert so a callback scheduling at `now`
+      // still fires in FIFO order behind its equal-timestamp peers.
+      b.insert(std::lower_bound(b.begin(), b.end(), it, kLater), it);
+    } else {
+      b.push_back(it);
+    }
+    ++ring_items_;
+  } else {
+    overflow_.push_back(it);
+    std::push_heap(overflow_.begin(), overflow_.end(), kLater);
+  }
+}
+
+bool EventQueue::advance_to_next(bool bounded, Time limit) {
+  const std::uint64_t limit_bn = bucket_of(limit);
+  for (;;) {
+    auto& b = buckets_[cur_bn_ & kBucketMask];
+    if (!b.empty()) {
+      if (!cur_sorted_) {
+        std::sort(b.begin(), b.end(), kLater);
+        cur_sorted_ = true;
+      }
+      return true;
+    }
+    cur_sorted_ = false;
+    if (ring_items_ == 0) {
+      if (overflow_.empty()) return false;
+      // Rebase: jump the cursor straight to the earliest overflow event
+      // instead of scanning the empty gap bucket by bucket.
+      const std::uint64_t target = bucket_of(overflow_.front().at);
+      if (bounded && target > limit_bn) return false;
+      cur_bn_ = target;
+    } else {
+      // In bounded mode never move the cursor past the limit's bucket;
+      // that keeps cur_bn_ <= bucket_of(now_) after run_until returns,
+      // which place_item's window bijectivity depends on.
+      if (bounded && cur_bn_ >= limit_bn) return false;
+      ++cur_bn_;
+    }
+    // Migrate overflow events that fell inside the new horizon. Doing
+    // this on every cursor move keeps the overflow strictly later than
+    // everything in the ring.
+    while (!overflow_.empty() &&
+           bucket_of(overflow_.front().at) < cur_bn_ + kBucketCount) {
+      std::pop_heap(overflow_.begin(), overflow_.end(), kLater);
+      const Item mig = overflow_.back();
+      overflow_.pop_back();
+      buckets_[bucket_of(mig.at) & kBucketMask].push_back(mig);
+      ++ring_items_;
     }
   }
 }
 
-bool EventQueue::Handle::pending() const {
-  auto e = entry_.lock();
-  return e && !e->fired && !e->cancelled;
-}
-
-namespace {
-// Min-heap on (time, seq): std::push_heap builds a max-heap, so invert.
-bool later(const std::shared_ptr<EventQueue::Handle::Entry>& a,
-           const std::shared_ptr<EventQueue::Handle::Entry>& b) {
-  if (a->at != b->at) return a->at > b->at;
-  return a->seq > b->seq;
-}
-}  // namespace
-
-EventQueue::Handle EventQueue::schedule_at(Time at, Callback cb) {
-  auto e = std::make_shared<Handle::Entry>();
-  e->at = std::max(at, now_);
-  e->seq = next_seq_++;
-  e->cb = std::move(cb);
-  e->live_counter = &live_;
-  heap_.push_back(e);
-  std::push_heap(heap_.begin(), heap_.end(), later);
-  ++live_;
-  return Handle(e);
-}
-
-bool EventQueue::pop_and_run() {
-  while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end(), later);
-    auto e = std::move(heap_.back());
-    heap_.pop_back();
-    if (e->cancelled) continue;
-    now_ = e->at;
-    e->fired = true;
-    --live_;
-    ++executed_;
-    // Run after the entry leaves the heap so the callback may schedule
-    // or cancel freely, including rescheduling itself.
+bool EventQueue::pop_and_run(bool bounded, Time limit) {
+  Slab& s = *slab_;
+  while (s.live > 0) {
+    if (!advance_to_next(bounded, limit)) return false;
+    auto& b = buckets_[cur_bn_ & kBucketMask];
+    const Item it = b.back();
+    Slab::Entry* e = &s.pool[it.slot];
+    if (e->gen != it.gen) {  // slot recycled since: stale item
+      b.pop_back();
+      --ring_items_;
+      continue;
+    }
+    if (e->state == Slab::State::kCancelled) {
+      b.pop_back();
+      --ring_items_;
+      --s.cancelled;
+      free_slot(it.slot);
+      continue;
+    }
+    if (bounded && it.at > limit) return false;
+    b.pop_back();
+    --ring_items_;
+    now_ = it.at;
     Callback cb = std::move(e->cb);
+    --s.live;
+    ++executed_;
+    free_slot(it.slot);
+    e = nullptr;  // pool may reallocate once user code runs
+    // Run after the entry leaves the queue so the callback may schedule
+    // or cancel freely, including rescheduling itself.
     cb();
     if (after_event_) after_event_(now_);
     return true;
   }
+  reclaim_all();
   return false;
 }
 
 bool EventQueue::step() {
-  // Drop leading cancelled entries lazily; live_ tracks real work.
-  if (live_ == 0) {
-    heap_.clear();
+  if (slab_->live == 0) {
+    reclaim_all();
     return false;
   }
-  return pop_and_run();
+  return pop_and_run(false, 0);
 }
 
 std::size_t EventQueue::run_until(Time t) {
   std::size_t n = 0;
-  while (live_ > 0) {
-    // Peek: skim cancelled heads first.
-    while (!heap_.empty() && heap_.front()->cancelled) {
-      std::pop_heap(heap_.begin(), heap_.end(), later);
-      heap_.pop_back();
-    }
-    if (heap_.empty() || heap_.front()->at > t) break;
-    if (pop_and_run()) ++n;
-  }
+  while (pop_and_run(true, t)) ++n;
   now_ = std::max(now_, t);
   return n;
 }
@@ -97,6 +243,60 @@ std::size_t EventQueue::run(std::size_t max_events) {
   std::size_t n = 0;
   while (n < max_events && step()) ++n;
   return n;
+}
+
+void EventQueue::reclaim_all() {
+  // No live events remain: every gen-matching entry still queued is
+  // cancelled. Drop them all and rewind the cursor to the clock.
+  if (ring_items_ != 0 || !overflow_.empty()) {
+    Slab& s = *slab_;
+    const auto drop = [&](const Item& it) {
+      const Slab::Entry& e = s.pool[it.slot];
+      if (e.gen == it.gen && e.state == Slab::State::kCancelled) {
+        --s.cancelled;
+        free_slot(it.slot);
+      }
+    };
+    for (auto& b : buckets_) {
+      for (const Item& it : b) drop(it);
+      b.clear();
+    }
+    for (const Item& it : overflow_) drop(it);
+    overflow_.clear();
+    ring_items_ = 0;
+  }
+  cur_sorted_ = false;
+  cur_bn_ = bucket_of(now_);
+}
+
+void EventQueue::maybe_compact() {
+  Slab& s = *slab_;
+  if (s.cancelled < kCompactMin || s.cancelled < s.live) return;
+  // Long-horizon soaks cancel retry timers far faster than the clock
+  // reaches them; sweep the dead entries out so queue memory tracks the
+  // live population instead of the cancellation history.
+  ++compactions_;
+  const auto dead = [&](const Item& it) {
+    Slab::Entry& e = s.pool[it.slot];
+    if (e.gen != it.gen) return true;
+    if (e.state == Slab::State::kCancelled) {
+      --s.cancelled;
+      free_slot(it.slot);
+      return true;
+    }
+    return false;
+  };
+  std::size_t kept = 0;
+  for (auto& b : buckets_) {
+    // remove_if preserves the relative order of survivors, so a sorted
+    // current bucket stays sorted and FIFO order is unaffected.
+    b.erase(std::remove_if(b.begin(), b.end(), dead), b.end());
+    kept += b.size();
+  }
+  ring_items_ = kept;
+  overflow_.erase(std::remove_if(overflow_.begin(), overflow_.end(), dead),
+                  overflow_.end());
+  std::make_heap(overflow_.begin(), overflow_.end(), kLater);
 }
 
 }  // namespace myri::sim

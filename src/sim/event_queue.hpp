@@ -4,24 +4,39 @@
 // switches and daemons all schedule closures against one virtual clock.
 // Events at equal timestamps run in FIFO scheduling order, which keeps every
 // experiment fully deterministic for a given seed.
+//
+// Internally the queue is a calendar queue: a ring of fixed-width time
+// buckets plus a min-heap overflow for events beyond the ring's horizon,
+// with all event entries pooled in a slab allocator (closures live inline
+// in the slab via InlineCallback — no per-event heap allocation on the hot
+// path). The execution order is defined purely by the (timestamp, sequence)
+// pair, identical to the classic binary-heap implementation this replaced,
+// so golden traces and chaos digests are bit-stable across the designs.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace myri::sim {
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  /// Sized so the common Link/Switch hop closures (capturing a 128-byte
+  /// Packet plus a pointer and a port) stay inline in the event slab.
+  using Callback = InlineCallback<152>;
+
+  struct Slab;  // event entry pool, defined in event_queue.cpp
 
   /// Cancellation handle for a scheduled event. Copyable; outliving the
-  /// queue or the event firing is safe (cancel becomes a no-op).
+  /// queue or the event firing is safe (cancel becomes a no-op). The
+  /// handle addresses a pooled slot by (index, generation): once the
+  /// event fires or is cancelled the slot's generation moves on and the
+  /// handle goes inert.
   class Handle {
    public:
     Handle() = default;
@@ -32,13 +47,19 @@ class EventQueue {
     /// True if the event is still waiting to fire.
     [[nodiscard]] bool pending() const;
 
-    struct Entry;  // implementation detail, defined in event_queue.cpp
-
    private:
     friend class EventQueue;
-    explicit Handle(std::shared_ptr<Entry> e) : entry_(std::move(e)) {}
-    std::weak_ptr<Entry> entry_;
+    Handle(std::weak_ptr<Slab> s, std::uint32_t slot, std::uint32_t gen)
+        : slab_(std::move(s)), slot_(slot), gen_(gen) {}
+    std::weak_ptr<Slab> slab_;
+    std::uint32_t slot_ = 0;
+    std::uint32_t gen_ = 0;
   };
+
+  EventQueue();
+  ~EventQueue();
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
 
   /// Current virtual time.
   [[nodiscard]] Time now() const noexcept { return now_; }
@@ -76,24 +97,65 @@ class EventQueue {
   }
 
   /// True if no live (non-cancelled) events remain.
-  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+  [[nodiscard]] bool empty() const noexcept;
 
   /// Number of live events waiting.
-  [[nodiscard]] std::size_t pending_events() const noexcept { return live_; }
+  [[nodiscard]] std::size_t pending_events() const noexcept;
+
+  /// Cancelled entries still occupying queue slots (reclaimed lazily at
+  /// pop time or eagerly by compaction).
+  [[nodiscard]] std::size_t cancelled_pending() const noexcept;
 
   /// Total events executed since construction (for diagnostics).
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
 
- private:
-  struct HeapCmp;
-  bool pop_and_run();
+  /// Compaction sweeps performed (cancelled-entry eviction; see
+  /// maybe_compact in event_queue.cpp). Exported as `sim.eq_compactions`.
+  [[nodiscard]] std::uint64_t compactions() const noexcept {
+    return compactions_;
+  }
 
-  std::vector<std::shared_ptr<Handle::Entry>> heap_;
+ private:
+  // One ring bucket covers 256 ns; 4096 buckets span ~1.05 ms. Events
+  // beyond the horizon wait in the overflow heap and migrate into the
+  // ring as the cursor advances.
+  static constexpr int kBucketShift = 8;
+  static constexpr std::uint64_t kBucketCount = 1u << 12;
+  static constexpr std::uint64_t kBucketMask = kBucketCount - 1;
+
+  // A bucket entry: enough to order the event and find its slab slot.
+  // The generation pins the slot's identity — a stale item whose slot
+  // was recycled is skipped at pop time.
+  struct Item {
+    Time at;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+
+  static constexpr std::uint64_t bucket_of(Time at) noexcept {
+    return at >> kBucketShift;
+  }
+
+  void place_item(const Item& it);
+  bool advance_to_next(bool bounded, Time limit);
+  bool pop_and_run(bool bounded, Time limit);
+  std::uint32_t alloc_slot();
+  void free_slot(std::uint32_t slot);
+  void reclaim_all();
+  void maybe_compact();
+
+  std::shared_ptr<Slab> slab_;
+  std::vector<std::vector<Item>> buckets_;
+  std::vector<Item> overflow_;  // min-heap on (at, seq)
   std::function<void(Time)> after_event_;
   Time now_ = 0;
+  std::uint64_t cur_bn_ = 0;     // absolute bucket number of the cursor
+  std::size_t ring_items_ = 0;   // items in buckets_ (incl. stale/cancelled)
+  bool cur_sorted_ = false;      // current bucket sorted & being drained
   std::uint64_t next_seq_ = 0;
-  std::size_t live_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t compactions_ = 0;
 };
 
 }  // namespace myri::sim

@@ -1,0 +1,259 @@
+// Calendar-queue event core: determinism and safety pins.
+//
+// The EventQueue rewrite (calendar buckets + overflow heap + pooled slab
+// entries) must be observably identical to the binary heap it replaced:
+// execution order is defined purely by (timestamp, sequence). These tests
+// pin FIFO order across every internal boundary (bucket edges, ring wrap,
+// overflow migration), cancellation/compaction behaviour, generation-
+// counter handle safety, a randomized differential check against a naive
+// reference model, and finally a full 64-node chaos scenario whose digest
+// was captured on the pre-rewrite heap.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "faultinject/scenario.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace myri::sim {
+namespace {
+
+// Bucket geometry mirrored from event_queue.hpp (256 ns × 4096 buckets).
+constexpr Time kBucketWidth = 256;
+constexpr Time kRingSpan = kBucketWidth * 4096;
+
+TEST(EventQueueCalendar, EqualTimestampFifoAcrossBucketBoundaries) {
+  EventQueue eq;
+  std::vector<int> order;
+  int tag = 0;
+  // Same-timestamp groups straddling a bucket edge, the ring-wrap span
+  // and the overflow horizon, scheduled in interleaved time order so
+  // bucket placement cannot accidentally encode arrival order.
+  const Time spots[] = {kBucketWidth - 1, kBucketWidth,     kBucketWidth + 1,
+                        kRingSpan - 1,    kRingSpan,        kRingSpan + 1,
+                        3 * kRingSpan,    3 * kRingSpan + 1};
+  for (int rep = 0; rep < 4; ++rep) {
+    for (const Time t : spots) {
+      eq.schedule_at(t, [&order, id = tag++] { order.push_back(id); });
+    }
+  }
+  eq.run();
+  // Expected: sort tags by (time, scheduling sequence). Tag encodes the
+  // sequence; its spot index encodes the time.
+  std::vector<std::pair<Time, int>> want;
+  for (int id = 0; id < tag; ++id) want.push_back({spots[id % 8], id});
+  std::stable_sort(want.begin(), want.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  ASSERT_EQ(order.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(order[i], want[i].second) << "position " << i;
+  }
+}
+
+TEST(EventQueueCalendar, CallbackSchedulingAtNowRunsBehindItsPeers) {
+  // An event scheduled from inside a callback at the current timestamp
+  // lands in the bucket being drained; it must still run after every
+  // already-pending event of that timestamp (higher sequence).
+  EventQueue eq;
+  std::vector<int> order;
+  eq.schedule_at(100, [&] {
+    order.push_back(0);
+    eq.schedule_after(0, [&] { order.push_back(9); });
+  });
+  eq.schedule_at(100, [&] { order.push_back(1); });
+  eq.schedule_at(100, [&] { order.push_back(2); });
+  eq.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 9}));
+}
+
+TEST(EventQueueCalendar, CompactionEvictsCancelledEntries) {
+  EventQueue eq;
+  int fired = 0;
+  std::vector<EventQueue::Handle> doomed;
+  // 4000 events far out, most cancelled: the cancelled population must
+  // cross the compaction threshold (1024 dead and dead >= live) and be
+  // swept without disturbing the survivors' order.
+  std::vector<int> order;
+  for (int i = 0; i < 4000; ++i) {
+    const Time at = 1000 + static_cast<Time>(i) * 100;
+    if (i % 8 == 0) {
+      eq.schedule_at(at, [&order, i] { order.push_back(i); });
+    } else {
+      doomed.push_back(eq.schedule_at(at, [&fired] { ++fired; }));
+    }
+  }
+  for (auto& h : doomed) h.cancel();
+  EXPECT_GE(eq.cancelled_pending(), 1024u);
+  // Scheduling after the mass-cancel is what triggers the sweep.
+  eq.schedule_at(5'000'000, [&order] { order.push_back(-1); });
+  EXPECT_GE(eq.compactions(), 1u);
+  EXPECT_EQ(eq.cancelled_pending(), 0u);
+  eq.run();
+  EXPECT_EQ(fired, 0);
+  ASSERT_EQ(order.size(), 501u);
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<int>(i) * 8);
+  }
+  EXPECT_EQ(order.back(), -1);
+}
+
+TEST(EventQueueCalendar, CancelDuringCompactedDrainIsSafe) {
+  // Cancelling from inside a callback while earlier mass-cancellation
+  // already compacted must neither fire the cancelled event nor corrupt
+  // the queue (the old failure mode for stale-slot reuse).
+  EventQueue eq;
+  bool late_ran = false;
+  std::vector<EventQueue::Handle> doomed;
+  for (int i = 0; i < 3000; ++i) {
+    doomed.push_back(eq.schedule_at(10'000 + i, [] {}));
+  }
+  EventQueue::Handle victim;
+  eq.schedule_at(500, [&] { victim.cancel(); });
+  victim = eq.schedule_at(20'000'000, [&] { late_ran = true; });
+  for (auto& h : doomed) h.cancel();
+  eq.schedule_at(600, [] {});  // trigger compaction
+  EXPECT_GE(eq.compactions(), 1u);
+  eq.run();
+  EXPECT_FALSE(late_ran);
+  EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueueCalendar, HandleOutlivesQueue) {
+  EventQueue::Handle h;
+  {
+    EventQueue eq;
+    h = eq.schedule_at(50, [] {});
+    EXPECT_TRUE(h.pending());
+  }
+  // The queue (and its slab) are gone: the handle must go inert, not
+  // dangle.
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash
+}
+
+TEST(EventQueueCalendar, StaleHandleCannotCancelARecycledSlot) {
+  EventQueue eq;
+  bool second_ran = false;
+  auto h1 = eq.schedule_at(10, [] {});
+  eq.run();  // slot freed, generation bumped
+  auto h2 = eq.schedule_at(20, [&] { second_ran = true; });
+  h1.cancel();  // stale generation: must not touch h2's event
+  EXPECT_FALSE(h1.pending());
+  EXPECT_TRUE(h2.pending());
+  eq.run();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(EventQueueCalendar, DifferentialAgainstReferenceModel) {
+  // Random schedule/cancel/run_until workload, mirrored against a naive
+  // (at, seq)-sorted reference. Any divergence in firing order or count
+  // is a determinism regression.
+  Rng rng(2026);
+  EventQueue eq;
+  struct Ref {
+    Time at;
+    std::uint64_t seq;
+    bool cancelled = false;
+  };
+  std::vector<Ref> ref;
+  std::vector<EventQueue::Handle> handles;
+  std::vector<std::uint64_t> fired;  // seq order actually observed
+  std::uint64_t seq = 0;
+  Time vnow = 0;
+  for (int round = 0; round < 200; ++round) {
+    const int burst = 1 + static_cast<int>(rng.below(20));
+    for (int i = 0; i < burst; ++i) {
+      // Mix of near (same bucket), mid (ring) and far (overflow) events,
+      // plus exact duplicates of the current time.
+      const std::uint64_t r = rng.below(100);
+      Time at = vnow;
+      if (r < 20) {
+        at = vnow + rng.below(64);
+      } else if (r < 70) {
+        at = vnow + rng.below(200'000);
+      } else {
+        at = vnow + rng.below(20'000'000);
+      }
+      const std::uint64_t s = seq++;
+      handles.push_back(eq.schedule_at(at, [&fired, s] { fired.push_back(s); }));
+      ref.push_back({std::max(at, vnow), s});
+    }
+    // Cancel a few random still-pending entries (a fired or already
+    // cancelled pick is a deliberate no-op on both sides).
+    for (int i = 0; i < 3; ++i) {
+      const std::size_t k = rng.below(handles.size());
+      if (handles[k].pending()) {
+        handles[k].cancel();
+        ref[k].cancelled = true;
+      }
+    }
+    vnow += rng.below(300'000);
+    eq.run_until(vnow);
+  }
+  eq.run();
+  std::vector<Ref> want;
+  for (const Ref& r : ref) {
+    if (!r.cancelled) want.push_back(r);
+  }
+  std::sort(want.begin(), want.end(), [](const Ref& a, const Ref& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  });
+  ASSERT_EQ(fired.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(fired[i], want[i].seq) << "divergence at event " << i;
+  }
+  EXPECT_EQ(eq.executed(), fired.size());
+}
+
+TEST(EventQueueCalendar, RunUntilThenLateInsertKeepsOrder) {
+  // run_until() can leave the cursor parked mid-ring; a later insert at
+  // a nearer time must still fire before everything already queued.
+  EventQueue eq;
+  std::vector<int> order;
+  eq.schedule_at(10'000'000, [&] { order.push_back(2); });
+  eq.run_until(5'000'000);
+  eq.schedule_at(6'000'000, [&] { order.push_back(1); });
+  eq.schedule_after(0, [&] { order.push_back(0); });
+  eq.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(eq.now(), 10'000'000u);
+}
+
+// ---- digest stability across the queue rewrite ---------------------------
+
+TEST(EventQueueCalendar, PinnedChaosScenarioDigestIsUnchanged) {
+  // This digest was captured on the pre-rewrite shared_ptr binary-heap
+  // EventQueue for the pinned 64-node fat-tree hang scenario below. The
+  // calendar queue must reproduce it bit-identically: if this fails, the
+  // rewrite changed equal-timestamp execution order somewhere.
+  constexpr std::uint64_t kHeapDigest = 0xd367e149968f9e52ULL;
+
+  fi::Scenario s;
+  s.seed = 7;
+  s.nodes = 64;
+  s.fabric = net::FabricPreset::kFatTree;
+  s.msgs = 60;
+  s.msg_len = 1500;
+  s.drop = 0.02;
+  s.corrupt = 0.01;
+  fi::ScenarioEvent hang;
+  hang.kind = fi::ScenarioEvent::Kind::kNicHang;
+  hang.node = 13;
+  hang.at = fi::Scenario::kWarmup + sim::usec(500);
+  s.events.push_back(hang);
+
+  const fi::RunReport r = fi::ScenarioRunner::run(s);
+  EXPECT_FALSE(r.failed());
+  EXPECT_EQ(r.digest, kHeapDigest);
+  EXPECT_EQ(r.deliveries, 3840u);
+  EXPECT_EQ(r.recoveries, 1u);
+}
+
+}  // namespace
+}  // namespace myri::sim

@@ -28,7 +28,8 @@ FabricConfig make(FabricPreset p, int nodes, std::uint8_t radix = 8) {
 
 TEST(Fabric, PresetNamesRoundTrip) {
   for (const auto p : {FabricPreset::kSingleSwitch, FabricPreset::kLine,
-                       FabricPreset::kRing, FabricPreset::kFatTree}) {
+                       FabricPreset::kRing, FabricPreset::kFatTree,
+                       FabricPreset::kFatTree3}) {
     const auto back = net::parse_fabric_preset(net::to_string(p));
     ASSERT_TRUE(back.has_value());
     EXPECT_EQ(*back, p);
@@ -161,6 +162,109 @@ TEST(Fabric, MapperDiscoversTheBuiltFatTree) {
   ClusterConfig cc;
   cc.nodes = 16;
   cc.fabric = FabricPreset::kFatTree;
+  cc.install_routes = false;  // the mapper is the only source of routes
+  Cluster cluster(cc);
+  mapper::Mapper m(cluster.node(0));
+  bool ok = false;
+  m.run([&](bool r) { ok = r; });
+  cluster.run_until_idle();
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(m.num_switches(), cluster.fabric().num_switches());
+  EXPECT_EQ(m.interfaces().size(), 16u);
+  for (net::NodeId b = 1; b < 16; ++b) {
+    auto r = m.route_between(0, b);
+    ASSERT_TRUE(r) << "0->" << int(b);
+    EXPECT_LE(r->size(),
+              static_cast<std::size_t>(cluster.fabric().tiers()));
+  }
+}
+
+TEST(Fabric, FatTree3Shape512Nodes) {
+  // Radix-16 k-ary fat-tree: 8 pods in use for 512 nodes (128 hosts per
+  // pod), 16 switches per pod plus the 64-core spine grid.
+  sim::EventQueue eq;
+  sim::Rng rng(1);
+  net::Topology topo(eq, rng);
+  FabricBuilder fb(topo, make(FabricPreset::kFatTree3, 512, 16));
+  EXPECT_EQ(FabricBuilder::capacity(make(FabricPreset::kFatTree3, 1, 16)),
+            1024u);
+  EXPECT_EQ(fb.num_switches(), 8u * 16u + 64u);
+  EXPECT_EQ(fb.trunk_cables().size(), 8u * 8u * 8u * 2u);
+  EXPECT_EQ(fb.tiers(), 5);  // edge-agg-core-agg-edge worst case
+  // Every endpoint got a distinct (switch, port) plug.
+  std::set<std::pair<std::uint16_t, std::uint8_t>> plugs;
+  for (const auto& p : fb.placements()) plugs.insert({p.sw, p.port});
+  EXPECT_EQ(plugs.size(), 512u);
+}
+
+TEST(Fabric, FatTree3RoutesReachEveryPairWithinFiveHops) {
+  sim::EventQueue eq;
+  sim::Rng rng(1);
+  net::Topology topo(eq, rng);
+  FabricBuilder fb(topo, make(FabricPreset::kFatTree3, 128, 8));
+  for (net::NodeId a = 0; a < 128; a = static_cast<net::NodeId>(a + 17)) {
+    const auto rows = fb.routes_from(a);
+    for (net::NodeId b = 0; b < 128; ++b) {
+      if (a == b) continue;
+      ASSERT_FALSE(rows[b].empty()) << int(a) << "->" << int(b);
+      EXPECT_LE(rows[b].size(), 5u);
+      // The batch derivation must agree with the per-pair BFS.
+      const auto single = fb.route(a, b);
+      ASSERT_TRUE(single.has_value());
+      EXPECT_EQ(rows[b], *single) << int(a) << "->" << int(b);
+    }
+  }
+}
+
+TEST(Fabric, RoutesFromMatchesRoutePerPairOnEveryPreset) {
+  for (const auto p : {FabricPreset::kSingleSwitch, FabricPreset::kLine,
+                       FabricPreset::kRing, FabricPreset::kFatTree}) {
+    sim::EventQueue eq;
+    sim::Rng rng(1);
+    net::Topology topo(eq, rng);
+    FabricBuilder fb(topo, make(p, 6, 8));
+    for (net::NodeId a = 0; a < 6; ++a) {
+      const auto rows = fb.routes_from(a);
+      for (net::NodeId b = 0; b < 6; ++b) {
+        const auto single = fb.route(a, b);
+        if (a == b) {
+          EXPECT_TRUE(rows[b].empty());
+        } else {
+          ASSERT_TRUE(single.has_value());
+          EXPECT_EQ(rows[b], *single) << net::to_string(p);
+        }
+      }
+    }
+  }
+}
+
+TEST(Fabric, ClusterTrafficCrossesTheFatTree3) {
+  // Cross-pod traffic on the smallest honest 3-level config: radix 4 ->
+  // 4 hosts per pod; node 0 (pod 0) streams to node 5 (pod 1) through
+  // edge, agg and core tiers.
+  ClusterConfig cc;
+  cc.nodes = 8;
+  cc.fabric = FabricPreset::kFatTree3;
+  cc.switch_ports = 4;
+  Cluster cluster(cc);
+  auto& src = cluster.node(0).open_port(2);
+  auto& dst = cluster.node(5).open_port(2);
+  fi::StreamWorkload::Config wc;
+  wc.total_msgs = 20;
+  wc.msg_len = 512;
+  fi::StreamWorkload wl(src, dst, wc);
+  cluster.run_for(sim::usec(900));
+  wl.start();
+  cluster.run_for(sim::msec(50));
+  EXPECT_TRUE(wl.complete());
+  EXPECT_EQ(wl.duplicates(), 0);
+}
+
+TEST(Fabric, MapperDiscoversTheBuiltFatTree3) {
+  ClusterConfig cc;
+  cc.nodes = 16;
+  cc.fabric = FabricPreset::kFatTree3;
+  cc.switch_ports = 4;
   cc.install_routes = false;  // the mapper is the only source of routes
   Cluster cluster(cc);
   mapper::Mapper m(cluster.node(0));

@@ -217,6 +217,124 @@ TEST(RouteEpoch, CensusProbeRescuesWhenEveryAnnounceIsLost) {
   EXPECT_EQ(cluster.node(3).route_epoch(), fm.mapper().epoch());
 }
 
+TEST(RouteEpoch, CensusRederivesRoutesWhenTheFrozenRouteIsDead) {
+  // PR-5 residual (b): census probes used to ride the route frozen at the
+  // last epoch that contained the node. Here that route crosses trunk 3
+  // (sw3-sw0, the home-side shortcut to node 3), which dies while node 3
+  // is hung — the frozen bytes lead into the dead cable forever, while a
+  // perfectly good path around the ring (sw0-sw1-sw2-sw3) exists in the
+  // current map. The node's own announces ride its equally stale mirror
+  // route over the same dead trunk, so the re-derived census probe is the
+  // only repair channel left.
+  gm::Cluster cluster(ring4(mcp::McpMode::kFtgm));
+  mapper::FailoverManager::Config fc;
+  fc.max_remap_retries = 0;  // no blind remaps: only census may heal this
+  mapper::FailoverManager fm(cluster, fc);
+  bring_up(cluster, fm);
+
+  cluster.node(3).mcp().inject_hang("test");
+  cluster.node(3).ftd().mark_fault_injected();
+  cluster.run_for(sim::msec(5));
+  // Trunk 3 is sw3-sw0: the link the epoch-1 home->node3 route crosses.
+  cluster.topo().set_cable_down(cluster.fabric().trunk_cables()[3], true);
+  cluster.run_for(sim::msec(50));
+  ASSERT_GE(fm.mapper().epoch(), 2u);
+  ASSERT_EQ(fm.mapper().table().count(3), 0u);
+
+  // FTD recovery brings the card back; its announce dies in the dead
+  // trunk. The census probe, re-derived from the current switch graph to
+  // node 3's remembered attach point, goes the long way round and lands.
+  cluster.run_for(sim::sec(8));
+  EXPECT_GE(fm.mapper().stats().census_probes, 1u);
+  EXPECT_FALSE(cluster.node(3).mcp().hung());
+  EXPECT_EQ(fm.mapper().interfaces().size(), 4u);
+  EXPECT_TRUE(fm.converged());
+  EXPECT_TRUE(fm.settled());
+  EXPECT_EQ(cluster.node(3).route_epoch(), fm.mapper().epoch());
+}
+
+TEST(RouteEpoch, ReturnedNodeFoldsInWithoutRediscovery) {
+  // A node missing from the map that answers a census probe (or
+  // announces) used to trigger a *full* remap — re-scouting the whole
+  // fabric. Under sustained loss that is how remap storms perpetuate:
+  // each re-scout can lose a different node's replies, which the next
+  // census folds back in, forever. The answer already proves where the
+  // node sits, so the mapper must graft it in at its recorded attach
+  // point and push routes without running discovery again.
+  gm::Cluster cluster(ring4(mcp::McpMode::kFtgm));
+  mapper::FailoverManager::Config fc;
+  fc.max_remap_retries = 0;  // no blind remaps: fold-in must do the work
+  mapper::FailoverManager fm(cluster, fc);
+  bring_up(cluster, fm);
+
+  // Hang node 3, then remap while it is out: epoch 2 lacks it, but its
+  // attach point (sw3, host port) is remembered from epoch 1.
+  cluster.node(3).mcp().inject_hang("test");
+  cluster.node(3).ftd().mark_fault_injected();
+  cluster.run_for(sim::msec(5));
+  bool ok = false;
+  fm.remap_now([&](bool r) { ok = r; });
+  cluster.run_for(sim::msec(50));
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(fm.mapper().table().count(3), 0u);
+  const std::uint64_t runs_before = fm.mapper().stats().runs;
+
+  // Recovery + census answer/announce: the node must come back via the
+  // incremental graft — same discovery count, census_folds bumped, and
+  // the new epoch distributed to everyone.
+  cluster.run_for(sim::sec(8));
+  EXPECT_FALSE(cluster.node(3).mcp().hung());
+  EXPECT_GE(fm.mapper().stats().census_folds, 1u);
+  EXPECT_EQ(fm.mapper().stats().runs, runs_before);
+  EXPECT_EQ(fm.mapper().interfaces().size(), 4u);
+  EXPECT_TRUE(fm.converged());
+  EXPECT_TRUE(fm.settled());
+  EXPECT_EQ(cluster.node(3).route_epoch(), fm.mapper().epoch());
+}
+
+TEST(RouteEpoch, PortSweepRescuesANodeNeverPresentInAnyMap) {
+  // PR-5 residual (a): a roster node hung through *every* mapping run has
+  // no last route and no attach point — the census used to skip it
+  // silently, and once its announce budget was burnt inside a loss
+  // window, nothing would ever reach it again. The unknown-port sweep
+  // must knock on the dark switch ports and find it.
+  gm::Cluster cluster(ring4(mcp::McpMode::kFtgm));
+  mapper::FailoverManager::Config fc;
+  fc.max_remap_retries = 0;  // isolate the sweep: no blind remap retries
+  mapper::FailoverManager fm(cluster, fc);
+
+  // Node 3 wedges before the fabric is ever mapped: epoch 1 knows the
+  // switch it hangs off (scouts map sw3 via its trunks) but not the node.
+  cluster.node(3).mcp().inject_hang("test");
+  cluster.node(3).ftd().mark_fault_injected();
+  cluster.run_for(sim::msec(1));
+  bool ok = false;
+  fm.remap_now([&](bool r) { ok = r; });
+  cluster.run_for(sim::msec(50));
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(fm.mapper().epoch(), 1u);
+  ASSERT_EQ(fm.mapper().table().count(3), 0u);
+
+  // FTD recovery restores the card — but its driver mirror is empty (it
+  // never received a single chunk), so it has no route to the mapper and
+  // cannot announce: the node is permanently silent from its own side.
+  for (int i = 0; i < 2000 && cluster.node(3).mcp().hung(); ++i) {
+    cluster.run_for(sim::msec(10));
+  }
+  ASSERT_FALSE(cluster.node(3).mcp().hung());
+  ASSERT_EQ(cluster.node(3).mcp().stats().announces_sent, 0u);
+
+  // Only the sweep can cross now: sw3's host port has no neighbour in the
+  // map, the scrub probes it, the card acks, and a remap folds it in.
+  cluster.run_for(sim::sec(2));
+  EXPECT_GE(fm.mapper().stats().census_sweep_probes, 1u);
+  EXPECT_GE(cluster.metrics().counter("mapper.census_probes").value(), 1u);
+  EXPECT_EQ(fm.mapper().interfaces().size(), 4u);
+  EXPECT_TRUE(fm.converged());
+  EXPECT_TRUE(fm.settled());
+  EXPECT_EQ(cluster.node(3).route_epoch(), fm.mapper().epoch());
+}
+
 TEST(RouteEpoch, RecoveredCardAnnouncesEvenAtEpochZero) {
   gm::Cluster cluster(ring4(mcp::McpMode::kFtgm));
   mapper::FailoverManager::Config fc;

@@ -100,6 +100,39 @@ TEST(ScenarioChaos, FatTree64NodeTrunkKillAndRestore) {
   EXPECT_EQ(r.deliveries, 64u * 80u);
 }
 
+TEST(ScenarioChaos, FatTree3With512NodesHangMidStream) {
+  // The event-core scale target: 512 endpoints on the 3-level Clos, all
+  // streaming, with one NIC hang mid-stream. Exercises the calendar
+  // queue's ring wrap and overflow migration under real load, the batch
+  // route derivation (512 route tables), and recovery at a fabric size
+  // where the O(n²) paths would time out. Pinned seed: CI's perf-smoke
+  // job runs exactly this case, so its digest doubles as a determinism
+  // canary across machines.
+  fi::Scenario s;
+  s.seed = 7;
+  s.nodes = 512;
+  s.fabric = net::FabricPreset::kFatTree3;
+  s.radix = 16;
+  s.msgs = 12;
+  s.msg_len = 1024;
+  s.drop = 0.01;
+  fi::ScenarioEvent hang;
+  hang.kind = fi::ScenarioEvent::Kind::kNicHang;
+  hang.node = 100;
+  hang.at = fi::Scenario::kWarmup + sim::usec(500);
+  s.events.push_back(hang);
+
+  const fi::RunReport r = fi::ScenarioRunner::run(s);
+  if (r.failed()) {
+    report_and_dump(s, r, "fattree3_512_hang");
+    return;
+  }
+  EXPECT_EQ(r.recoveries, 1u);
+  EXPECT_EQ(r.deliveries, 512u * 12u);
+  // Seed stability at scale: identical scenario value, identical digest.
+  EXPECT_EQ(fi::ScenarioRunner::run(s).digest, r.digest);
+}
+
 TEST(ScenarioChaos, RingHangPlusLossWindow) {
   fi::Scenario s;
   s.seed = 3;
