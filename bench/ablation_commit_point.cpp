@@ -30,7 +30,7 @@ bool message_survives_crash(bool delayed_ack, std::uint64_t seed) {
   int received = 0;
   rx.set_receive_handler([&](const gm::RecvInfo&) { ++received; });
   gm::Buffer b = tx.alloc_dma_buffer(64);
-  tx.send(b, 64, 1, 3);
+  (void)tx.post(b, 64, {.dst = 1, .dst_port = 3});
   // Crash at the instant the ACK leaves, before the event post completes.
   while (cluster.node(1).mcp().stats().acks_tx < 1 && cluster.eq().step()) {
   }

@@ -44,7 +44,7 @@ int main() {
     });
     gm::Buffer b = tx.alloc_dma_buffer(64);
     for (int i = 0; i < 50; ++i) {
-      tx.send(b, 64, 1, 3);
+      (void)tx.post(b, 64, {.dst = 1, .dst_port = 3});
       cluster.run_for(sim::usec(100));
     }
     const double send_util =

@@ -87,7 +87,7 @@ inline PingPongResult run_ping_pong(mcp::McpMode mode, std::uint32_t len,
   // Pong side: echo every message straight back.
   b.set_receive_handler([&](const gm::RecvInfo& info) {
     b.provide_receive_buffer(info.buffer);
-    b.send(bbuf, len, 0, 2);
+    (void)b.post(bbuf, len, {.dst = 0, .dst_port = 2});
   });
   // Ping side: timestamp, record, fire the next iteration. Samples land
   // both in the exact recorder (fig8 percentiles) and in the registry
@@ -101,7 +101,7 @@ inline PingPongResult run_ping_pong(mcp::McpMode mode, std::uint32_t len,
     rtt_hist.add(half);
     if (--remaining > 0) {
       t0 = cluster.eq().now();
-      a.send(abuf, len, 1, 2);
+      (void)a.post(abuf, len, {.dst = 1, .dst_port = 2});
     }
   });
 
@@ -111,7 +111,7 @@ inline PingPongResult run_ping_pong(mcp::McpMode mode, std::uint32_t len,
       cluster.metrics().counter("node1.mcp.busy_ns");
   const std::uint64_t busy_before = busy0.value() + busy1.value();
   t0 = cluster.eq().now();
-  a.send(abuf, len, 1, 2);
+  (void)a.post(abuf, len, {.dst = 1, .dst_port = 2});
   cluster.run_for(sim::msec(10) + sim::Time(iters) * sim::usec(200));
 
   const std::uint64_t busy_after = busy0.value() + busy1.value();

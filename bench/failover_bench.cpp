@@ -7,6 +7,10 @@
 //     rate vs the worst bin of the outage, and when goodput recovers
 //   - exactly-once delivery across the event (no losses, no duplicates)
 //
+// The run also hot-adds a node once the remap has settled: the join must
+// fold into the map via census (no full remap) and serve a short
+// verification stream, and the membership counters land in the JSON.
+//
 // Prints a human table plus one JSON object per run on stdout (and the
 // full registry via MYRI_METRICS_JSON, like every other bench).
 #include <algorithm>
@@ -25,10 +29,14 @@ using namespace myri;
 namespace {
 
 constexpr int kNodes = 16;
+// Radix 10 (vs the switch default 8) leaves free leaf ports for the
+// mid-run hot-add; 16 nodes still spread over 4 leaves.
+constexpr std::uint8_t kRadix = 10;
 constexpr int kStreams = 8;        // node i -> node i+8: always cross-leaf
 constexpr std::uint32_t kLen = 2048;
 constexpr sim::Time kBin = sim::usec(200);
 constexpr sim::Time kKillAt = sim::msec(2);
+constexpr sim::Time kJoinAt = sim::msec(6);  // after the remap settles
 
 struct RunResult {
   double remap_us = 0;          // time-to-reroute for this run
@@ -42,6 +50,11 @@ struct RunResult {
   std::uint64_t census_probes = 0;  // scrub probes at last-known routes
   std::uint64_t announces = 0;      // post-recovery route announces (all nodes)
   std::uint64_t announce_retries = 0;
+  std::uint64_t membership_epoch = 0;
+  std::uint64_t joins = 0;
+  std::uint64_t drains = 0;
+  std::uint64_t replaces = 0;
+  std::uint64_t census_folds = 0;   // joins folded in without a full remap
   bool complete = false;
   int duplicates = 0;
 };
@@ -50,6 +63,7 @@ RunResult one_run(std::uint64_t seed, metrics::Registry* agg) {
   gm::ClusterConfig cc;
   cc.nodes = kNodes;
   cc.fabric = net::FabricPreset::kFatTree;
+  cc.switch_ports = kRadix;
   cc.seed = seed;
   gm::Cluster cluster(cc);
   mapper::FailoverManager fm(cluster);
@@ -89,9 +103,29 @@ RunResult one_run(std::uint64_t seed, metrics::Registry* agg) {
     cluster.topo().set_cable_down(cluster.fabric().trunk_cables()[0], true);
   });
 
+  // Hot-add once the remap has settled, with an 8-message verification
+  // stream into the joiner (started after the fresh ports' open
+  // handshake, like the chaos runner does).
+  cluster.eq().schedule_after(kJoinAt, [&] {
+    const net::NodeId id = cluster.add_node();
+    cluster.eq().schedule_after(sim::msec(5), [&cluster, &wls, id] {
+      gm::Port& tx = cluster.node(0).open_port(4, {24, 24});
+      gm::Port& rx = cluster.node(id).open_port(3, {24, 24});
+      fi::StreamWorkload::Config vwc;
+      vwc.total_msgs = 8;
+      vwc.msg_len = kLen;
+      wls.push_back(std::make_unique<fi::StreamWorkload>(tx, rx, vwc));
+      fi::StreamWorkload* wl = wls.back().get();
+      cluster.eq().schedule_after(sim::msec(2), [wl] { wl->start(); });
+    });
+  });
+
   const sim::Time horizon = sim::msec(400);
   while (cluster.eq().now() < horizon) {
     cluster.run_for(sim::msec(5));
+    // Don't exit before the join fired and its verification stream is in
+    // wls (it enters ~7 ms after kJoinAt).
+    if (cluster.eq().now() < kJoinAt + sim::msec(10)) continue;
     bool all = true;
     for (auto& w : wls) all = all && w->complete();
     if (all) break;
@@ -111,6 +145,12 @@ RunResult one_run(std::uint64_t seed, metrics::Registry* agg) {
       cluster.metrics().gauge("mapper.route_epoch").value());
   r.route_retries = cluster.metrics().counter("mapper.map_route_retries").value();
   r.census_probes = cluster.metrics().counter("mapper.census_probes").value();
+  r.membership_epoch = static_cast<std::uint64_t>(
+      cluster.metrics().gauge("cluster.membership_epoch").value());
+  r.joins = cluster.metrics().counter("mapper.joins").value();
+  r.drains = cluster.metrics().counter("mapper.drains").value();
+  r.replaces = cluster.metrics().counter("mapper.replaces").value();
+  r.census_folds = fm.mapper().stats().census_folds;
   for (int i = 0; i < kNodes; ++i) {
     r.announces += cluster.node(static_cast<net::NodeId>(i))
                        .mcp().stats().announces_sent;
@@ -157,8 +197,9 @@ int main() {
   bench::print_header(
       "Failover bench -- trunk-cable kill under load (16-node fat-tree)");
   std::printf("%d cross-leaf streams of %d x %u B; leaf0-spine0 trunk "
-              "killed at %.1f ms\n\n",
-              kStreams, bench::scaled(400), kLen, sim::to_msec(kKillAt));
+              "killed at %.1f ms; node hot-added at %.1f ms\n\n",
+              kStreams, bench::scaled(400), kLen, sim::to_msec(kKillAt),
+              sim::to_msec(kJoinAt));
   std::printf("  %-4s %12s %15s %15s %12s %10s %7s %9s %4s\n", "run",
               "remap (us)", "pre-kill (B/ms)", "dip (B/ms)", "recover (ms)",
               "conv (us)", "retries", "complete", "dup");
@@ -189,6 +230,8 @@ int main() {
                 "\"route_epoch\":%llu,\"route_retries\":%llu,"
                 "\"census_probes\":%llu,\"announces\":%llu,"
                 "\"announce_retries\":%llu,"
+                "\"membership_epoch\":%llu,\"joins\":%llu,\"drains\":%llu,"
+                "\"replaces\":%llu,\"census_folds\":%llu,"
                 "\"complete\":%s,\"duplicates\":%d}\n",
                 i, kNodes, kStreams, r.remap_us, r.prekill_bytes_per_ms,
                 r.dip_bytes_per_ms, r.recover_ms, r.converge_us,
@@ -197,6 +240,11 @@ int main() {
                 static_cast<unsigned long long>(r.census_probes),
                 static_cast<unsigned long long>(r.announces),
                 static_cast<unsigned long long>(r.announce_retries),
+                static_cast<unsigned long long>(r.membership_epoch),
+                static_cast<unsigned long long>(r.joins),
+                static_cast<unsigned long long>(r.drains),
+                static_cast<unsigned long long>(r.replaces),
+                static_cast<unsigned long long>(r.census_folds),
                 r.complete ? "true" : "false", r.duplicates);
   }
   bench::export_registry_json(agg);

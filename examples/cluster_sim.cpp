@@ -4,6 +4,8 @@
 //               [--radix R] [--mode gm|ftgm] [--msgs M] [--len BYTES]
 //               [--drop P] [--corrupt P] [--hang-at USEC[,USEC...]]
 //               [--victim NODE] [--kill-cable-at USEC] [--cable IDX]
+//               [--join-at USEC] [--drain-at USEC] [--drain-node NODE]
+//               [--replace-at USEC] [--replace-node NODE]
 //               [--seed S] [--horizon-ms MS] [--trace]
 //
 // Runs a verified all-pairs-neighbour workload under the given fault
@@ -15,6 +17,14 @@
 // run wants --fabric fat-tree (16 leaves + 4 spines at the default radix).
 // --kill-cable-at downs a trunk cable mid-run and lets the mapper-driven
 // FailoverManager reroute around it.
+//
+// Membership events exercise the elastic roster under traffic:
+// --join-at hot-adds a node at a free switch port (and verifies it with a
+// short stream from node 0), --drain-at drains a node until it retires,
+// --replace-at swaps a node for a spare at the same port and NodeId
+// (combine with --hang-at/--victim to replace a genuinely dead card; its
+// two ring streams are abandoned by design).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,6 +52,11 @@ struct Options {
   int victim = 0;
   double kill_cable_at_us = -1;  // <0 = no cable kill
   int cable = 0;                 // trunk-cable index to kill
+  double join_at_us = -1;        // <0 = no hot-add
+  double drain_at_us = -1;       // <0 = no drain
+  int drain_node = 1;
+  double replace_at_us = -1;     // <0 = no spare swap
+  int replace_node = 1;
   std::uint64_t seed = 42;
   double horizon_ms = 0;  // 0 = auto
   bool trace = false;
@@ -72,6 +87,11 @@ Options parse(int argc, char** argv) {
     } else if (a == "--radix") o.radix = std::atoi(next(i));
     else if (a == "--kill-cable-at") o.kill_cable_at_us = std::atof(next(i));
     else if (a == "--cable") o.cable = std::atoi(next(i));
+    else if (a == "--join-at") o.join_at_us = std::atof(next(i));
+    else if (a == "--drain-at") o.drain_at_us = std::atof(next(i));
+    else if (a == "--drain-node") o.drain_node = std::atoi(next(i));
+    else if (a == "--replace-at") o.replace_at_us = std::atof(next(i));
+    else if (a == "--replace-node") o.replace_node = std::atoi(next(i));
     else if (a == "--mode") {
       o.mode = std::strcmp(next(i), "gm") == 0 ? mcp::McpMode::kGm
                                                : mcp::McpMode::kFtgm;
@@ -106,6 +126,15 @@ Options parse(int argc, char** argv) {
                  cap, net::to_string(o.fabric), o.radix);
     std::exit(2);
   }
+  if (o.drain_at_us >= 0 && (o.drain_node < 1 || o.drain_node >= o.nodes)) {
+    std::fprintf(stderr, "--drain-node must be 1..%d\n", o.nodes - 1);
+    std::exit(2);
+  }
+  if (o.replace_at_us >= 0 &&
+      (o.replace_node < 1 || o.replace_node >= o.nodes)) {
+    std::fprintf(stderr, "--replace-node must be 1..%d\n", o.nodes - 1);
+    std::exit(2);
+  }
   return o;
 }
 
@@ -123,8 +152,13 @@ int main(int argc, char** argv) {
   cc.faults = {o.drop, o.corrupt, 0.0};
   gm::Cluster cluster(cc);
 
+  const bool membership = o.join_at_us >= 0 || o.drain_at_us >= 0 ||
+                          o.replace_at_us >= 0;
+
   // Cable-kill scenario: the FailoverManager watches the topology and
-  // re-runs the mapper when the trunk goes down.
+  // re-runs the mapper when the trunk goes down. Membership events also
+  // get a live mapper when the fabric has one to give (so a join folds in
+  // at the next epoch instead of only riding the pristine routes).
   std::unique_ptr<mapper::FailoverManager> fm;
   if (o.kill_cable_at_us >= 0) {
     const auto& trunks = cluster.fabric().trunk_cables();
@@ -143,6 +177,9 @@ int main(int argc, char** argv) {
                                       cluster.fabric().trunk_cables()[o.cable],
                                       true);
                                 });
+  }
+  if (!fm && membership && !cluster.fabric().trunk_cables().empty()) {
+    fm = std::make_unique<mapper::FailoverManager>(cluster);
   }
 
   sim::Trace trace;
@@ -177,16 +214,72 @@ int main(int argc, char** argv) {
     });
   }
 
+  // Membership events. Joins and replaces get an 8-message verification
+  // stream from node 0 into the new card (receive port 3), started once
+  // the fresh ports have had their open handshake on the wire.
+  int verif_streams = 0;
+  auto start_verification = [&](net::NodeId dst) {
+    gm::Port& tx = cluster.node(0).open_port(
+        static_cast<std::uint8_t>(4 + verif_streams), {24, 24});
+    gm::Port& rx = cluster.node(dst).open_port(3, {24, 24});
+    ++verif_streams;
+    fi::StreamWorkload::Config vwc;
+    vwc.total_msgs = 8;
+    vwc.msg_len = o.len;
+    wls.push_back(std::make_unique<fi::StreamWorkload>(tx, rx, vwc));
+    fi::StreamWorkload* wl = wls.back().get();
+    cluster.eq().schedule_after(sim::msec(2), [wl] { wl->start(); });
+  };
+  if (o.join_at_us >= 0) {
+    cluster.eq().schedule_after(sim::usecf(o.join_at_us), [&] {
+      const net::NodeId id = cluster.add_node();
+      cluster.eq().schedule_after(sim::msec(5),
+                                  [&, id] { start_verification(id); });
+    });
+  }
+  if (o.drain_at_us >= 0) {
+    cluster.eq().schedule_after(sim::usecf(o.drain_at_us), [&] {
+      cluster.drain_node(static_cast<net::NodeId>(o.drain_node));
+    });
+  }
+  if (o.replace_at_us >= 0) {
+    cluster.eq().schedule_after(sim::usecf(o.replace_at_us), [&] {
+      const auto x = static_cast<net::NodeId>(o.replace_node);
+      // The outgoing card takes its two ring streams with it.
+      wls[static_cast<std::size_t>(o.replace_node)]->abandon();
+      wls[static_cast<std::size_t>((o.replace_node - 1 + o.nodes) %
+                                   o.nodes)]
+          ->abandon();
+      cluster.replace_node(x);
+      cluster.eq().schedule_after(sim::msec(5),
+                                  [&, x] { start_verification(x); });
+    });
+  }
+
   const double auto_ms =
       10.0 + o.msgs * o.nodes * 0.1 +
       (o.hang_at_us.empty() ? 0.0 : 4000.0 * o.hang_at_us.size()) +
-      (o.kill_cable_at_us >= 0 ? 1000.0 : 0.0);
+      (o.kill_cable_at_us >= 0 ? 1000.0 : 0.0) +
+      (membership ? 1000.0 : 0.0);
   const sim::Time horizon =
       sim::usecf((o.horizon_ms > 0 ? o.horizon_ms : auto_ms) * 1000.0);
+  // Don't declare victory before the schedule has fired: a join at 20 ms
+  // must not be skipped because the ring drained at 10 ms (its
+  // verification stream only enters wls ~7 ms after the event).
+  double last_sched_us = 0;
+  for (const double at : o.hang_at_us) last_sched_us = std::max(last_sched_us, at);
+  last_sched_us = std::max({last_sched_us, o.kill_cable_at_us, o.join_at_us,
+                            o.drain_at_us, o.replace_at_us});
+  // A drain additionally needs its quiet window (default 25 ms) of
+  // quiescence before it retires — hold the run open long enough to show
+  // the retirement in the report.
+  const sim::Time settle = sim::usecf(last_sched_us) + sim::msec(10) +
+                           (o.drain_at_us >= 0 ? sim::msec(50) : 0);
   while (cluster.eq().now() < horizon) {
     cluster.run_for(sim::msec(20));
+    if (cluster.eq().now() < settle) continue;
     bool all = true;
-    for (auto& w : wls) all = all && w->complete();
+    for (auto& w : wls) all = all && (w->complete() || w->abandoned());
     if (all) break;
   }
 
@@ -199,7 +292,7 @@ int main(int argc, char** argv) {
               o.mode == mcp::McpMode::kGm ? "GM" : "FTGM", o.msgs, o.len,
               o.drop, o.corrupt, o.hang_at_us.size(), o.victim);
   std::printf("virtual time: %.3f s\n\n", sim::to_sec(cluster.eq().now()));
-  if (fm) {
+  if (fm && o.kill_cable_at_us >= 0) {
     const auto& remap_ns =
         cluster.metrics().histogram("fabric.failover.remap_ns");
     std::printf("failover: cable %d down at %.0f us -> %llu remap(s), "
@@ -210,28 +303,52 @@ int main(int argc, char** argv) {
                 static_cast<double>(remap_ns.max()) / 1e6);
   }
 
+  if (membership) {
+    const auto cval = [&](const char* name) -> unsigned long long {
+      const auto* c = cluster.metrics().find_counter(name);
+      return c ? static_cast<unsigned long long>(c->value()) : 0;
+    };
+    std::printf("membership: epoch %u, %zu member(s), joins=%llu "
+                "drains=%llu replaces=%llu\n\n",
+                cluster.roster().epoch(), cluster.roster().size(),
+                cval("mapper.joins"), cval("mapper.drains"),
+                cval("mapper.replaces"));
+  }
+
   bool all_ok = true;
-  for (int i = 0; i < o.nodes; ++i) {
-    const auto& w = *wls[i];
-    all_ok = all_ok && w.complete();
-    std::printf("stream %d->%d: %3d/%3d delivered, %d dup, %d corrupt, "
-                "%d missing %s\n",
-                i, (i + 1) % o.nodes, w.received(), o.msgs, w.duplicates(),
-                w.corrupted(), w.missing(), w.complete() ? "" : "  <-- BAD");
+  for (std::size_t i = 0; i < wls.size(); ++i) {
+    auto& w = *wls[i];
+    all_ok = all_ok && (w.complete() || w.abandoned());
+    const int total = i < static_cast<std::size_t>(o.nodes) ? o.msgs : 8;
+    std::string label =
+        i < static_cast<std::size_t>(o.nodes)
+            ? ("stream " + std::to_string(i) + "->" +
+               std::to_string((i + 1) % static_cast<std::size_t>(o.nodes)))
+            : ("verify 0->" + w.receiver().node().name());
+    std::printf("%s: %3d/%3d delivered, %d dup, %d corrupt, %d missing %s\n",
+                label.c_str(), w.received(), total, w.duplicates(),
+                w.corrupted(), w.missing(),
+                w.complete()    ? ""
+                : w.abandoned() ? "  [abandoned to replace]"
+                                : "  <-- BAD");
   }
   std::printf("\nper-node counters:\n");
-  for (int i = 0; i < o.nodes; ++i) {
-    const auto& s = cluster.node(i).mcp().stats();
-    std::printf("  node%d: frags=%llu retx=%llu crc_drops=%llu dup_drops=%llu "
-                "hangs=%llu%s",
-                i, static_cast<unsigned long long>(s.fragments_tx),
+  for (int i = 0; i < cluster.size(); ++i) {
+    gm::Node& n = cluster.node(i);
+    const auto& s = n.mcp().stats();
+    const bool retired = !cluster.roster().is_member(n.id());
+    std::printf("  %s: frags=%llu retx=%llu crc_drops=%llu dup_drops=%llu "
+                "hangs=%llu%s%s",
+                n.name().c_str(),
+                static_cast<unsigned long long>(s.fragments_tx),
                 static_cast<unsigned long long>(s.retransmissions),
                 static_cast<unsigned long long>(s.crc_drops),
                 static_cast<unsigned long long>(s.dup_drops),
                 static_cast<unsigned long long>(s.hangs),
-                cluster.node(i).mcp().hung() ? "  [STILL HUNG]\n" : "\n");
-    if (cluster.node(i).has_ftd()) {
-      const auto& f = cluster.node(i).ftd().stats();
+                retired ? "  [retired]" : "",
+                n.mcp().hung() ? "  [STILL HUNG]\n" : "\n");
+    if (n.has_ftd()) {
+      const auto& f = n.ftd().stats();
       if (f.wakeups > 0) {
         std::printf("         ftd: %llu wakeups, %llu recoveries, %llu false "
                     "alarms\n",

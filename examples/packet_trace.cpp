@@ -41,7 +41,7 @@ int main() {
   cluster.run_for(sim::usec(900));
   rx.provide_receive_buffer(rx.alloc_dma_buffer(128));
   gm::Buffer b = tx.alloc_dma_buffer(64);
-  tx.send(b, 64, 1, 3);
+  (void)tx.post(b, 64, {.dst = 1, .dst_port = 3});
   cluster.run_for(sim::msec(1));
 
   std::printf("\n=== trace: hang -> watchdog -> FTD recovery ===\n");

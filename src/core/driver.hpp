@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "host/host_memory.hpp"
@@ -76,6 +77,21 @@ class Driver {
   void open_port(std::uint8_t port) { mcp_.host_open_port(port); }
   void close_port(std::uint8_t port) { mcp_.host_close_port(port); }
 
+  // ---- membership drain gate ----
+  /// Mark a destination as draining: the GM library refuses *new* streams
+  /// to it with kDraining while established ones finish (gm::Cluster
+  /// broadcasts this on drain_node; it stays set after retirement).
+  void set_dst_draining(net::NodeId dst, bool draining) {
+    if (draining) {
+      draining_dsts_.insert(dst);
+    } else {
+      draining_dsts_.erase(dst);
+    }
+  }
+  [[nodiscard]] bool dst_draining(net::NodeId dst) const {
+    return draining_dsts_.count(dst) != 0;
+  }
+
   // ---- FTD-facing card operations (state changes; the FTD accounts the
   //      time each step takes using RecoveryTiming) ----
   void write_magic(std::uint32_t value);
@@ -101,6 +117,7 @@ class Driver {
   mcp::HostIface* host_iface_ = nullptr;
   std::function<void()> wake_ftd_;
   std::unordered_map<net::NodeId, std::vector<std::uint8_t>> routes_;
+  std::unordered_set<net::NodeId> draining_dsts_;
   // Epoch-versioned view of the mapper's table (the single source of
   // truth lives in mapper::Mapper; this is a per-node shadow of it).
   std::uint32_t installed_epoch_ = 0;     // last epoch held completely

@@ -163,14 +163,19 @@ void Oracle::final_check() {
   if (!ok()) return;
   check_now();
   if (!ok()) return;
+  check_membership();
+  if (!ok()) return;
   // Quiescence: only meaningful once every stream finished and the
   // cluster drained — mid-flight tokens are legitimately outstanding.
+  // Abandoned streams (endpoint replaced mid-run) are excused: their
+  // tails are scheduled losses, their tokens stranded on the dead card.
   for (std::size_t i = 0; i < streams_.size(); ++i) {
     const Stream& s = streams_[i];
-    if (!s.wl->complete()) return;
+    if (!s.wl->complete() && !s.wl->abandoned()) return;
   }
   for (std::size_t i = 0; i < streams_.size() && ok(); ++i) {
     Stream& s = streams_[i];
+    if (s.wl->abandoned()) continue;
     const std::uint32_t free = s.wl->sender().send_tokens_free();
     if (free != s.send_tokens) {
       violate("quiescence", "stream " + std::to_string(i) +
@@ -186,6 +191,25 @@ void Oracle::final_check() {
     }
   }
   check_route_convergence();
+}
+
+void Oracle::check_membership() {
+  // A drain must terminate: once every stream to the victim quiesces the
+  // cluster retires it. Still draining ~1 s after the drain started at
+  // end-of-run means the handshake wedged (an admission leak keeps
+  // feeding it, or the quiescence poll lost its timer).
+  if (!ok()) return;
+  for (const gm::RosterEvent& ev : cluster_.roster().history()) {
+    if (ev.kind != gm::MembershipChange::kDrain) continue;
+    if (cluster_.roster().is_draining(ev.node) &&
+        cluster_.eq().now() - ev.at > sim::sec(1)) {
+      violate("membership",
+              "node " + std::to_string(ev.node) +
+                  " still draining " +
+                  std::to_string((cluster_.eq().now() - ev.at) / 1000000) +
+                  " ms after drain started (never retired)");
+    }
+  }
 }
 
 void Oracle::check_route_convergence() {
@@ -210,6 +234,10 @@ void Oracle::check_route_convergence() {
   for (const net::NodeId node : expected_roster_) {
     if (!ok()) break;
     if (node >= static_cast<net::NodeId>(cluster_.size())) continue;
+    // The scenario's timeline is a static prediction; the cluster's
+    // roster is the membership truth. A node the roster retired (a drain
+    // that finished earlier than predicted) is legitimately unmapped.
+    if (!cluster_.roster().is_member(node)) continue;
     if (m.table().count(node) == 0) {
       violate("route-convergence",
               cluster_.node(node).name() +

@@ -16,7 +16,11 @@
 //                        delivered <= offered accounting
 //   quiescence           after all streams complete and the cluster
 //                        drains: all send tokens free, FTGM send backups
-//                        empty (final_check only)
+//                        empty (final_check only; streams abandoned to a
+//                        node replacement are excused)
+//   membership           a started drain terminates: the victim must be
+//                        retired, not still draining, ~1 s after the
+//                        drain began (final_check only)
 //   route-convergence    after quiesce, every node in the mapper's table
 //                        holds the mapper's current route epoch
 //                        completely, every node expected up at horizon is
@@ -121,6 +125,7 @@ class Oracle {
   void check_tokens();
   void check_watchdog();
   void check_metrics();
+  void check_membership();
   void check_route_convergence();
 
   gm::Cluster& cluster_;

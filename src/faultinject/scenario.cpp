@@ -69,6 +69,9 @@ const char* to_string(ScenarioEvent::Kind k) {
     case ScenarioEvent::Kind::kFaultWindow: return "fault-window";
     case ScenarioEvent::Kind::kSramFlip: return "sram-flip";
     case ScenarioEvent::Kind::kDoubleDeliver: return "double-deliver";
+    case ScenarioEvent::Kind::kNodeJoin: return "node-join";
+    case ScenarioEvent::Kind::kNodeDrain: return "node-drain";
+    case ScenarioEvent::Kind::kNodeReplace: return "node-replace";
   }
   return "?";
 }
@@ -78,7 +81,8 @@ namespace {
 std::optional<ScenarioEvent::Kind> parse_kind(const std::string& s) {
   using K = ScenarioEvent::Kind;
   for (K k : {K::kNicHang, K::kCableDown, K::kCableUp, K::kFaultWindow,
-              K::kSramFlip, K::kDoubleDeliver}) {
+              K::kSramFlip, K::kDoubleDeliver, K::kNodeJoin, K::kNodeDrain,
+              K::kNodeReplace}) {
     if (s == to_string(k)) return k;
   }
   return std::nullopt;
@@ -200,11 +204,41 @@ std::string validate(const Scenario& s) {
   }
   if (s.msgs < 1 || s.msgs > 100'000) return "msgs out of range";
   if (s.msg_len < 8 || s.msg_len > 65536) return "msg_len out of range";
+  int joins = 0;
   for (const ScenarioEvent& ev : s.events) {
+    if (ev.kind == ScenarioEvent::Kind::kNodeJoin) {
+      ++joins;  // the joiner's id is assigned at run time, `node` unused
+      continue;
+    }
     if (ev.node < 0 || ev.node >= s.nodes) {
       return "event node " + std::to_string(ev.node) + " out of range";
     }
     if (ev.cable < 0) return "negative cable index";
+    if ((ev.kind == ScenarioEvent::Kind::kNodeDrain ||
+         ev.kind == ScenarioEvent::Kind::kNodeReplace) &&
+        ev.node == 0) {
+      return "membership event cannot target node 0 (mapper home)";
+    }
+  }
+  if (static_cast<std::size_t>(s.nodes + joins) > cap) {
+    return "schedule joins " + std::to_string(joins) +
+           " node(s) past fabric capacity " + std::to_string(cap);
+  }
+  if (joins > 0) {
+    // The preset capacity is theoretical; what a join actually needs is a
+    // free port on the *as-built* fabric (a radix-3 ring is full: every
+    // switch spends 2 ports on trunks and 1 on its host). Dry-build the
+    // fabric so an unsatisfiable schedule is rejected here instead of
+    // blowing up add_node() mid-run.
+    sim::EventQueue eq;
+    sim::Rng rng(1);
+    net::Topology topo(eq, rng);
+    const net::FabricBuilder fb(topo, fc);
+    if (static_cast<std::size_t>(joins) > fb.free_ports()) {
+      return "schedule joins " + std::to_string(joins) +
+             " node(s) but the as-built fabric has only " +
+             std::to_string(fb.free_ports()) + " free port(s)";
+    }
   }
   return {};
 }
@@ -221,8 +255,13 @@ sim::Time Scenario::effective_horizon() const {
   for (const ScenarioEvent& ev : events) {
     h = std::max(h, ev.at + ev.duration + sim::sec(1));
     if (ev.kind == ScenarioEvent::Kind::kNicHang ||
-        ev.kind == ScenarioEvent::Kind::kSramFlip) {
-      h += kRecoveryAllowance;  // detect + confirm + reload + replay
+        ev.kind == ScenarioEvent::Kind::kSramFlip ||
+        ev.kind == ScenarioEvent::Kind::kNodeJoin ||
+        ev.kind == ScenarioEvent::Kind::kNodeDrain ||
+        ev.kind == ScenarioEvent::Kind::kNodeReplace) {
+      // detect + confirm + reload + replay for faults; fold-in / drain
+      // quiesce / spare bring-up for membership deltas.
+      h += kRecoveryAllowance;
     }
   }
   return h;
@@ -230,26 +269,55 @@ sim::Time Scenario::effective_horizon() const {
 
 std::vector<net::NodeId> Scenario::expected_up_at_horizon() const {
   const sim::Time h = effective_horizon();
+  // Replay the schedule as a membership timeline: later events override
+  // earlier ones (a replace revives a node an earlier hang excused).
+  // Joined nodes get ids nodes, nodes+1, ... in firing order, which is
+  // time order (the runner schedules same-time events in vector order).
+  std::vector<ScenarioEvent> ordered = events;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const ScenarioEvent& a, const ScenarioEvent& b) {
+                     return a.at < b.at;
+                   });
   std::vector<bool> up(static_cast<std::size_t>(nodes), true);
-  for (const ScenarioEvent& ev : events) {
-    if (ev.kind != ScenarioEvent::Kind::kNicHang &&
-        ev.kind != ScenarioEvent::Kind::kSramFlip) {
-      continue;
-    }
-    if (ev.node < 0 || ev.node >= nodes) continue;
-    // kGm has no watchdog/FTD: a wedged card stays wedged. A flip may be
-    // benign or self-restart, but "may be up" is not "expected up".
-    // kFtgm recovers, but a victim hit too close to the horizon cannot
-    // be counted on to be back (and remapped) in time.
-    if (mode == mcp::McpMode::kGm || ev.at + kRecoveryAllowance > h) {
-      up[static_cast<std::size_t>(ev.node)] = false;
+  for (const ScenarioEvent& ev : ordered) {
+    switch (ev.kind) {
+      case ScenarioEvent::Kind::kNicHang:
+      case ScenarioEvent::Kind::kSramFlip:
+        if (ev.node < 0 || ev.node >= static_cast<int>(up.size())) break;
+        // kGm has no watchdog/FTD: a wedged card stays wedged. A flip may
+        // be benign or self-restart, but "may be up" is not "expected
+        // up". kFtgm recovers, but a victim hit too close to the horizon
+        // cannot be counted on to be back (and remapped) in time.
+        if (mode == mcp::McpMode::kGm || ev.at + kRecoveryAllowance > h) {
+          up[static_cast<std::size_t>(ev.node)] = false;
+        }
+        break;
+      case ScenarioEvent::Kind::kNodeDrain:
+        // A drain with room to finish ends in retirement: the node is
+        // expected ABSENT. Too close to the horizon, the drain may still
+        // be waiting out in-flight streams — leave it expected up.
+        if (ev.node < 0 || ev.node >= static_cast<int>(up.size())) break;
+        if (ev.at + kRecoveryAllowance <= h) {
+          up[static_cast<std::size_t>(ev.node)] = false;
+        }
+        break;
+      case ScenarioEvent::Kind::kNodeReplace:
+        // The spare takes the victim's id: expected up when the swap has
+        // time to land, even if an earlier hang excused the old card.
+        if (ev.node < 0 || ev.node >= static_cast<int>(up.size())) break;
+        up[static_cast<std::size_t>(ev.node)] =
+            ev.at + kRecoveryAllowance <= h;
+        break;
+      case ScenarioEvent::Kind::kNodeJoin:
+        up.push_back(ev.at + kRecoveryAllowance <= h);
+        break;
+      default:
+        break;
     }
   }
   std::vector<net::NodeId> out;
-  for (int i = 0; i < nodes; ++i) {
-    if (up[static_cast<std::size_t>(i)]) {
-      out.push_back(static_cast<net::NodeId>(i));
-    }
+  for (std::size_t i = 0; i < up.size(); ++i) {
+    if (up[i]) out.push_back(static_cast<net::NodeId>(i));
   }
   return out;
 }
@@ -299,28 +367,54 @@ RunReport ScenarioRunner::run(const Scenario& s, const Options& opt) {
   std::uint64_t digest = kFnvOffset;
   std::uint64_t deliveries = 0;
   std::vector<bool> dup_next(wls.size(), false);
-  for (std::size_t i = 0; i < wls.size(); ++i) {
-    oracle.watch(*wls[i], kTokens, kTokens);
-    wls[i]->set_on_delivery([&, i](int msg) {
-      // Delivery log entry: (stream, msg, time). A run that delivers the
-      // same messages at different times or in a different order gets a
-      // different digest — that is the seed-stability guarantee.
+  // Delivery log entry: (stream, msg, time). A run that delivers the
+  // same messages at different times or in a different order gets a
+  // different digest — that is the seed-stability guarantee.
+  auto on_delivery = [&](std::size_t i, int msg) {
+    mix(digest, i);
+    mix(digest, static_cast<std::uint64_t>(static_cast<std::int64_t>(msg)));
+    mix(digest, cluster.eq().now());
+    ++deliveries;
+    oracle.on_delivery(i, msg);
+    if (dup_next[i]) {
+      dup_next[i] = false;
       mix(digest, i);
       mix(digest, static_cast<std::uint64_t>(static_cast<std::int64_t>(msg)));
       mix(digest, cluster.eq().now());
       ++deliveries;
       oracle.on_delivery(i, msg);
-      if (dup_next[i]) {
-        dup_next[i] = false;
-        mix(digest, i);
-        mix(digest,
-            static_cast<std::uint64_t>(static_cast<std::int64_t>(msg)));
-        mix(digest, cluster.eq().now());
-        ++deliveries;
-        oracle.on_delivery(i, msg);
-      }
-    });
+    }
+  };
+  for (std::size_t i = 0; i < wls.size(); ++i) {
+    oracle.watch(*wls[i], kTokens, kTokens);
+    wls[i]->set_on_delivery([&, i](int msg) { on_delivery(i, msg); });
   }
+
+  // Membership verification streams: after a join or replace, a short
+  // stream from node 0 into the new card (receive port 3, a sender port
+  // of its own per stream) proves it serves traffic. Started ~5 ms after
+  // the roster event so port-open control traffic has landed; watched by
+  // the oracle and mixed into the digest like the ring streams.
+  int membership_streams = 0;
+  auto start_membership_stream = [&](net::NodeId dst) {
+    const std::size_t idx = wls.size();
+    gm::Port& tx = cluster.node(0).open_port(
+        static_cast<std::uint8_t>(4 + membership_streams), {kTokens, kTokens});
+    gm::Port& rx = cluster.node(dst).open_port(3, {kTokens, kTokens});
+    ++membership_streams;
+    StreamWorkload::Config mwc;
+    mwc.total_msgs = 8;
+    mwc.msg_len = s.msg_len;
+    wls.push_back(std::make_unique<StreamWorkload>(tx, rx, mwc));
+    dup_next.push_back(false);
+    oracle.watch(*wls[idx], kTokens, kTokens);
+    wls[idx]->set_on_delivery([&, idx](int msg) { on_delivery(idx, msg); });
+    // Fresh ports need their L_timer open handshake on the wire before
+    // peers accept traffic (same reason the ring workload waits out
+    // kWarmup): starting immediately would lose the first sends.
+    cluster.eq().schedule_after(sim::msec(2),
+                                [&wls, idx] { wls[idx]->start(); });
+  };
 
   // ---- schedule the fault events ----
   const net::LinkFaults baseline{s.drop, s.corrupt, s.misroute};
@@ -369,6 +463,42 @@ RunReport ScenarioRunner::run(const Scenario& s, const Options& opt) {
           }
         });
         break;
+      case ScenarioEvent::Kind::kNodeJoin:
+        cluster.eq().schedule_at(
+            ev.at, [&cluster, &start_membership_stream] {
+              const net::NodeId id = cluster.add_node();
+              cluster.eq().schedule_after(
+                  sim::msec(5),
+                  [&start_membership_stream, id] {
+                    start_membership_stream(id);
+                  });
+            });
+        break;
+      case ScenarioEvent::Kind::kNodeDrain:
+        cluster.eq().schedule_at(ev.at, [&cluster, ev] {
+          cluster.drain_node(static_cast<net::NodeId>(ev.node));
+        });
+        break;
+      case ScenarioEvent::Kind::kNodeReplace:
+        cluster.eq().schedule_at(
+            ev.at, [&cluster, &wls, &s, &start_membership_stream, ev] {
+              const auto x = static_cast<net::NodeId>(ev.node);
+              // The dead card takes its ring streams with it: the stream
+              // it sends (index x) and the one feeding it (x-1). Their
+              // in-flight tails can never complete — that loss is the
+              // point of needing a spare.
+              wls[x]->abandon();
+              wls[static_cast<std::size_t>((ev.node - 1 + s.nodes) %
+                                           s.nodes)]
+                  ->abandon();
+              cluster.replace_node(x);
+              cluster.eq().schedule_after(
+                  sim::msec(5),
+                  [&start_membership_stream, x] {
+                    start_membership_stream(x);
+                  });
+            });
+        break;
     }
   }
 
@@ -392,7 +522,7 @@ RunReport ScenarioRunner::run(const Scenario& s, const Options& opt) {
     if (!oracle.ok()) break;
     if (cluster.eq().now() < last_event) continue;
     bool all = true;
-    for (auto& wl : wls) all = all && wl->complete();
+    for (auto& wl : wls) all = all && (wl->complete() || wl->abandoned());
     for (int i = 0; all && i < cluster.size(); ++i) {
       gm::Node& n = cluster.node(i);
       all = !n.mcp().hung() && !(n.has_ftd() && n.ftd().busy());
@@ -407,6 +537,9 @@ RunReport ScenarioRunner::run(const Scenario& s, const Options& opt) {
     if (!oracle.ok()) break;
     bool quiet = true;
     for (auto& wl : wls) {
+      // Abandoned streams never quiesce: their outstanding GBN frames
+      // retransmit into the quarantined card's cut cable forever.
+      if (wl->abandoned()) continue;
       quiet = quiet && wl->complete() &&
               wl->sender().send_tokens_free() == kTokens;
       if (quiet && s.mode == mcp::McpMode::kFtgm) {
@@ -435,7 +568,8 @@ RunReport ScenarioRunner::run(const Scenario& s, const Options& opt) {
     so.corrupted = wl->corrupted();
     so.missing = wl->missing();
     so.complete = wl->complete();
-    rep.delivered = rep.delivered && so.complete;
+    // An abandoned stream's incompleteness is scheduled, not a failure.
+    rep.delivered = rep.delivered && (so.complete || wl->abandoned());
     rep.streams.push_back(so);
   }
   rep.oracle_ok = oracle.ok();

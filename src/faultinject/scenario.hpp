@@ -40,6 +40,18 @@ struct ScenarioEvent {
                          // exactly-once on purpose; never generated
                          // randomly — exists to prove the oracle and the
                          // shrink/replay loop catch a real violation)
+    // ---- membership events (gm::Roster deltas under traffic) ----
+    kNodeJoin = 6,     // hot-add a node at a free switch port; the id is
+                       // the next unused one (`node` is ignored). A
+                       // verification stream into the joiner starts
+                       // shortly after the join.
+    kNodeDrain = 7,    // drain node `node`: new sends refused, in-flight
+                       // streams finish exactly-once, then it retires
+    kNodeReplace = 8,  // swap node `node` for a spare at the same switch
+                       // port and NodeId; its ring streams are abandoned
+                       // (the dead card takes them with it) and a
+                       // verification stream proves the spare serves
+                       // traffic
   };
 
   sim::Time at = 0;  // absolute virtual time (workload starts at kWarmup)
@@ -94,19 +106,26 @@ struct Scenario {
   /// kRecoveryAllowance).
   [[nodiscard]] sim::Time effective_horizon() const;
 
-  /// Nodes expected to be up (recovered, mappable) at effective_horizon():
-  /// everyone except hang/flip victims that cannot be back in time — in
-  /// kGm mode there is no watchdog/FTD, so any such victim may stay down
-  /// for good; in kFtgm mode only victims hit within kRecoveryAllowance
-  /// of the horizon are excused. The runner feeds this to the oracle's
-  /// roster-aware route-convergence invariant.
+  /// Nodes expected to be up (recovered, mappable) at effective_horizon(),
+  /// replayed as a membership *timeline* in event-time order:
+  ///   - hang/flip victims that cannot be back in time are excused (in
+  ///     kGm mode there is no watchdog/FTD, so any victim may stay down),
+  ///   - a drained node is expected RETIRED (absent) when the drain has
+  ///     kRecoveryAllowance to finish before the horizon,
+  ///   - a replaced node is expected up again (the spare) when the swap
+  ///     lands in time — even if an earlier hang had excused it,
+  ///   - joined nodes (ids nodes, nodes+1, ... in event order) are
+  ///     expected up when the join lands in time.
+  /// The runner feeds this to the oracle's roster-aware
+  /// route-convergence invariant.
   [[nodiscard]] std::vector<net::NodeId> expected_up_at_horizon() const;
 
   /// Deterministic random scenario: topology, rates and schedule are all
   /// derived from `rand_seed`. Never emits the test-only kDoubleDeliver
-  /// kind; hangs are spaced past the ~1.7 s recovery; cable events only
-  /// appear on redundant fabrics (ring, fat-tree) where the mapper can
-  /// route around them.
+  /// kind nor the membership kinds (join/drain/replace live in pinned
+  /// schedules so existing seed digests stay stable); hangs are spaced
+  /// past the ~1.7 s recovery; cable events only appear on redundant
+  /// fabrics (ring, fat-tree) where the mapper can route around them.
   [[nodiscard]] static Scenario random(std::uint64_t rand_seed);
 
   /// {seed, topology, schedule} JSON (deterministic field order).

@@ -44,7 +44,7 @@ void StreamWorkload::fill(const gm::Buffer& buf, int msg) {
 }
 
 void StreamWorkload::pump_sends() {
-  while (next_msg_ < cfg_.total_msgs) {
+  while (!abandoned_ && next_msg_ < cfg_.total_msgs) {
     // Find a free slot.
     int slot = -1;
     for (std::size_t i = 0; i < slot_busy_.size(); ++i) {
@@ -72,10 +72,15 @@ void StreamWorkload::pump_sends() {
                pump_sends();
              }});
     if (st.code() == gm::Status::kRecovering ||
-        st.code() == gm::Status::kUnreachable) {
-      // FAULT_DETECTED replay in progress, or no route right now (cable
-      // down, remap pending): no completion callback is due to wake us,
-      // so come back on a timer once the port reopens / routes return.
+        st.code() == gm::Status::kUnreachable ||
+        st.code() == gm::Status::kDraining) {
+      // FAULT_DETECTED replay in progress, no route right now (cable
+      // down, remap pending), or the destination is draining: no
+      // completion callback is due to wake us, so come back on a timer
+      // once the port reopens / routes return. (A draining destination
+      // never reopens — the caller is expected to abandon or the stream
+      // simply stalls until the horizon; established streams were
+      // admitted before the drain and do not hit this path.)
       ++send_backoffs_;
       arm_retry();
       return;

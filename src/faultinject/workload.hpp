@@ -57,6 +57,14 @@ class StreamWorkload {
   /// Every message received exactly once with correct contents.
   [[nodiscard]] bool complete() const;
 
+  /// Give the stream up: its endpoint died for good (node replaced, card
+  /// quarantined). Stops pumping new messages; outstanding GBN frames
+  /// keep retransmitting into the dead route, which is the protocol's
+  /// no-give-up contract, not the workload's problem. The runner skips
+  /// abandoned streams in completion and quiescence checks.
+  void abandon() { abandoned_ = true; }
+  [[nodiscard]] bool abandoned() const noexcept { return abandoned_; }
+
   /// Expected byte at position j of message i.
   static std::byte pattern(int msg, std::uint32_t j) {
     return static_cast<std::byte>((msg * 131 + static_cast<int>(j) * 31 + 7) &
@@ -84,6 +92,7 @@ class StreamWorkload {
   int corrupted_ = 0;
   int duplicates_ = 0;
   bool started_ = false;
+  bool abandoned_ = false;
   bool retry_armed_ = false;
   std::function<void(int)> on_delivery_;
   std::vector<gm::Buffer> recv_retry_;  // provides refused mid-recovery

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "gm/node.hpp"
+#include "gm/roster.hpp"
 #include "metrics/registry.hpp"
 #include "net/fabric.hpp"
 #include "net/topology.hpp"
@@ -60,18 +61,41 @@ class Cluster {
   [[nodiscard]] Node& node(int i) { return *nodes_.at(i); }
   [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
 
-  /// The fabric roster: node ids of every placed endpoint, in id order.
-  /// This is what a self-healing control plane must eventually map — the
-  /// FailoverManager feeds it to the mapper as the expected roster, and
-  /// the chaos oracle checks the final map against it.
-  [[nodiscard]] std::vector<net::NodeId> expected_nodes() const {
-    std::vector<net::NodeId> out;
-    out.reserve(fabric_->placements().size());
-    for (std::size_t i = 0; i < fabric_->placements().size(); ++i) {
-      out.push_back(static_cast<net::NodeId>(i));
-    }
-    return out;
+  /// The versioned membership roster: who is expected on the fabric, as
+  /// of which membership epoch. The FailoverManager feeds members() to
+  /// the mapper as the expected roster, and the chaos oracle checks the
+  /// final map against the roster timeline.
+  [[nodiscard]] const Roster& roster() const noexcept { return roster_; }
+
+  /// Observer for membership deltas (one at a time, last wins). Fires on
+  /// every roster mutation — join, drain, retire, replace — after the
+  /// cluster has applied the physical change (node built, cable moved).
+  void set_membership_listener(Roster::Observer l) {
+    membership_listener_ = std::move(l);
   }
+
+  // ---- elastic membership (all under traffic) ----
+
+  /// Hot-plug a new node + cable at a free switch port. The node id is
+  /// the next unused id; with install_routes the new node and the
+  /// existing members get pristine routes immediately (a live mapper
+  /// folds the node in and re-stamps everything at the next epoch).
+  /// Throws std::runtime_error when the fabric has no free port.
+  net::NodeId add_node();
+
+  /// Drain `x`: stop admitting *new* streams to it (established ones
+  /// finish exactly-once), then — once every member's traffic to it and
+  /// its own sends have stayed quiescent for `quiet_window` — unplug its
+  /// cable and retire it from the roster. Cooperative: callers stop
+  /// initiating conversations with a draining node once in-flight ones
+  /// complete. `on_retired` fires at retirement.
+  void drain_node(net::NodeId x, sim::Time quiet_window = sim::msec(25),
+                  std::function<void(net::NodeId)> on_retired = {});
+
+  /// Replace a dead node with a spare: the spare takes over `x`'s switch
+  /// port and NodeId. The old card is quarantined (its cable is cut — a
+  /// late recovery transmits into an unplugged link). Returns the spare.
+  Node& replace_node(net::NodeId x);
 
   /// Run the simulation for `d` of virtual time.
   void run_for(sim::Time d) {
@@ -98,6 +122,14 @@ class Cluster {
         .set(static_cast<std::int64_t>(eq_.cancelled_pending()));
   }
 
+  std::unique_ptr<Node> build_node(net::NodeId id, const std::string& name);
+  void install_pristine_routes(net::NodeId id);
+  void on_roster_event(const RosterEvent& ev);
+  void poll_drain(net::NodeId x, sim::Time quiet_window,
+                  std::shared_ptr<sim::Time> quiet_since,
+                  std::function<void(net::NodeId)> on_retired);
+  void retire_now(net::NodeId x, std::function<void(net::NodeId)> on_retired);
+
   sim::EventQueue eq_;
   sim::Rng rng_;
   ClusterConfig cfg_;
@@ -105,6 +137,12 @@ class Cluster {
   std::unique_ptr<net::Topology> topo_;
   std::unique_ptr<net::FabricBuilder> fabric_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  // Replaced cards: destroying a Node mid-simulation is unsafe (scheduled
+  // events hold component pointers), so the old card lives on, unplugged.
+  std::vector<std::unique_ptr<Node>> quarantined_;
+  Roster roster_;
+  Roster::Observer membership_listener_;
+  std::uint32_t replace_gen_ = 0;  // unique names for spare cards
 };
 
 }  // namespace myri::gm

@@ -56,6 +56,12 @@ void Node::attach(net::Topology& topo, std::uint16_t sw, std::uint8_t port) {
   nic_.attach_uplink(up);
 }
 
+void Node::reattach(net::Topology& topo, std::uint16_t sw,
+                    std::uint8_t port) {
+  net::Link& up = topo.reattach_endpoint(nic_, sw, port, name_);
+  nic_.attach_uplink(up);
+}
+
 void Node::boot() {
   driver_.install(this);
   if (ftd_) {

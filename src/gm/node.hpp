@@ -49,6 +49,10 @@ class Node final : public mcp::HostIface {
   /// Cable this node's NIC to a switch port.
   void attach(net::Topology& topo, std::uint16_t sw, std::uint8_t sw_port);
 
+  /// Cable this node's NIC to a switch port that already had an endpoint:
+  /// the spare takes over a dead card's cable (Cluster::replace_node).
+  void reattach(net::Topology& topo, std::uint16_t sw, std::uint8_t sw_port);
+
   /// Load the driver + MCP; in FTGM mode also start the FTD.
   void boot();
 
@@ -78,6 +82,15 @@ class Node final : public mcp::HostIface {
   /// Last route epoch this node holds completely (0 = pre-mapper routes).
   [[nodiscard]] std::uint32_t route_epoch() const {
     return driver_.route_epoch();
+  }
+
+  /// Membership drain gate (see core::Driver): Port::post() refuses new
+  /// streams to a draining destination with kDraining.
+  void set_dst_draining(net::NodeId dst, bool d) {
+    driver_.set_dst_draining(dst, d);
+  }
+  [[nodiscard]] bool dst_draining(net::NodeId dst) const {
+    return driver_.dst_draining(dst);
   }
 
   // ---- mcp::HostIface ----

@@ -76,7 +76,14 @@ Status Port::submit_send(const Buffer& buf, std::uint32_t len,
   // route that may cross a dead trunk (callers back off and retry).
   if (node_.routes_stale()) return Status::kRecovering;
   if (!node_.has_route(req.dst)) return Status::kUnreachable;
+  // A draining destination accepts traffic only from streams established
+  // before the drain began: in-flight conversations finish exactly-once,
+  // new ones are refused so the node can quiesce and retire.
+  if (node_.dst_draining(req.dst) && active_dsts_.count(req.dst) == 0) {
+    return Status::kDraining;
+  }
   if (send_tokens_free_ == 0) return Status::kNoSendToken;
+  active_dsts_.insert(req.dst);
   --send_tokens_free_;
   ++stats_.sends_posted;
   stats_.bytes_sent += len;
@@ -129,6 +136,10 @@ Status Port::get_with_callback(const Buffer& local, std::uint32_t len,
   if (recovering_) return Status::kRecovering;
   if (node_.routes_stale()) return Status::kRecovering;
   if (!node_.has_route(dst)) return Status::kUnreachable;
+  if (node_.dst_draining(dst) && active_dsts_.count(dst) == 0) {
+    return Status::kDraining;
+  }
+  active_dsts_.insert(dst);
   mcp::GetRequest g;
   g.port = id_;
   g.dst = dst;

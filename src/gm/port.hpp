@@ -14,6 +14,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 
@@ -102,6 +103,7 @@ class Port {
   ///   kInvalidArg  invalid buffer, len > buf.size, or invalid dst
   ///   kRecovering  FAULT_DETECTED replay in progress — back off, retry
   ///   kUnreachable no route installed for dst (mapper hasn't reached it)
+  ///   kDraining    dst is draining and this port has no stream to it yet
   ///   kNoSendToken all tokens in flight — retry on a completion callback
   /// On any non-kOk result opts.callback never fires: check the Status.
   [[nodiscard]] Status post(const Buffer& buf, std::uint32_t len,
@@ -117,18 +119,6 @@ class Port {
                             .priority = priority,
                             .remote_vaddr = std::nullopt,
                             .callback = std::move(cb)});
-  }
-
-  /// Fire-and-forget bool shim (still consumes/returns a token internally).
-  bool send(const Buffer& buf, std::uint32_t len, net::NodeId dst,
-            std::uint8_t dst_port, std::uint8_t priority = 0) {
-    return post(buf, len,
-                SendOptions{.dst = dst,
-                            .dst_port = dst_port,
-                            .priority = priority,
-                            .remote_vaddr = std::nullopt,
-                            .callback = nullptr})
-        .ok();
   }
 
   /// gm_directed_send_with_callback (RDMA put): thin forwarder to post()
@@ -260,6 +250,10 @@ class Port {
   std::unordered_map<std::uint32_t, std::uint8_t> recv_priorities_;
   std::unordered_map<std::uint32_t, std::function<void()>> alarms_;
   std::uint32_t next_alarm_id_ = 1;
+
+  // Destinations this port has posted to: streams already established
+  // when a drain begins are exempt from the kDraining gate.
+  std::set<net::NodeId> active_dsts_;
 
   RecvHandler recv_handler_;
   std::function<void()> on_recovered_;

@@ -1,0 +1,92 @@
+#include "gm/roster.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace myri::gm {
+
+const char* to_string(MembershipChange c) {
+  switch (c) {
+    case MembershipChange::kSeed: return "seed";
+    case MembershipChange::kJoin: return "join";
+    case MembershipChange::kDrain: return "drain";
+    case MembershipChange::kRetire: return "retire";
+    case MembershipChange::kReplace: return "replace";
+  }
+  return "?";
+}
+
+void Roster::seed(const std::vector<net::NodeId>& members, sim::Time at) {
+  if (epoch_ != 0) throw std::logic_error("roster already seeded");
+  epoch_ = 1;
+  for (const net::NodeId x : members) {
+    members_.insert(x);
+    history_.push_back({epoch_, at, MembershipChange::kSeed, x});
+  }
+}
+
+std::vector<net::NodeId> Roster::members_at(sim::Time t) const {
+  std::set<net::NodeId> out;
+  for (const RosterEvent& ev : history_) {
+    if (ev.at > t) break;  // history is appended in time order
+    switch (ev.kind) {
+      case MembershipChange::kSeed:
+      case MembershipChange::kJoin:
+      case MembershipChange::kReplace:
+        out.insert(ev.node);
+        break;
+      case MembershipChange::kRetire:
+        out.erase(ev.node);
+        break;
+      case MembershipChange::kDrain:
+        break;  // draining nodes are still members
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+void Roster::apply(MembershipChange kind, net::NodeId x, sim::Time at) {
+  ++epoch_;
+  history_.push_back({epoch_, at, kind, x});
+  if (observer_) observer_(history_.back());
+}
+
+void Roster::join(net::NodeId x, sim::Time at) {
+  if (is_member(x)) {
+    throw std::invalid_argument("join: node " + std::to_string(x) +
+                                " already a member");
+  }
+  members_.insert(x);
+  apply(MembershipChange::kJoin, x, at);
+}
+
+void Roster::drain(net::NodeId x, sim::Time at) {
+  if (!is_member(x)) {
+    throw std::invalid_argument("drain: node " + std::to_string(x) +
+                                " not a member");
+  }
+  if (is_draining(x)) return;  // idempotent
+  draining_.insert(x);
+  apply(MembershipChange::kDrain, x, at);
+}
+
+void Roster::retire(net::NodeId x, sim::Time at) {
+  if (!is_member(x)) {
+    throw std::invalid_argument("retire: node " + std::to_string(x) +
+                                " not a member");
+  }
+  members_.erase(x);
+  draining_.erase(x);
+  apply(MembershipChange::kRetire, x, at);
+}
+
+void Roster::replace(net::NodeId x, sim::Time at) {
+  if (!is_member(x)) {
+    throw std::invalid_argument("replace: node " + std::to_string(x) +
+                                " not a member");
+  }
+  draining_.erase(x);
+  apply(MembershipChange::kReplace, x, at);
+}
+
+}  // namespace myri::gm

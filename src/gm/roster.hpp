@@ -1,0 +1,90 @@
+// Versioned cluster membership: the roster of node ids expected on the
+// fabric, epoch-stamped like routes.
+//
+// The roster is the single source of truth for "who should be mapped":
+// the FailoverManager feeds members() to the mapper as the expected
+// roster, and the chaos oracle checks the final map against the roster
+// *timeline* (members_at) instead of a frozen vector. Every mutation —
+// join, drain, retire, replace — bumps the membership epoch and appends
+// to an immutable history, so observers can replay exactly what changed
+// and when.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace myri::gm {
+
+enum class MembershipChange : std::uint8_t {
+  kSeed,     // initial member, present since construction
+  kJoin,     // hot-added node + cable at a free switch port
+  kDrain,    // stop admitting new sends; in-flight streams finish
+  kRetire,   // drained node left the fabric (cable unplugged)
+  kReplace,  // spare took over a dead node's switch port and NodeId
+};
+
+[[nodiscard]] const char* to_string(MembershipChange c);
+
+struct RosterEvent {
+  std::uint32_t epoch = 0;  // membership epoch after this change
+  sim::Time at = 0;
+  MembershipChange kind = MembershipChange::kSeed;
+  net::NodeId node = 0;
+};
+
+class Roster {
+ public:
+  /// Seed the initial membership (epoch 1). Call once, before any
+  /// mutation; seeding does not fire the observer.
+  void seed(const std::vector<net::NodeId>& members, sim::Time at);
+
+  [[nodiscard]] std::uint32_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] bool is_member(net::NodeId x) const {
+    return members_.count(x) != 0;
+  }
+  [[nodiscard]] bool is_draining(net::NodeId x) const {
+    return draining_.count(x) != 0;
+  }
+  /// Current members in id order (draining nodes are still members —
+  /// they stay mapped until retired).
+  [[nodiscard]] std::vector<net::NodeId> members() const {
+    return {members_.begin(), members_.end()};
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  /// Every change since seed, in epoch order.
+  [[nodiscard]] const std::vector<RosterEvent>& history() const noexcept {
+    return history_;
+  }
+
+  /// Membership as of virtual time `t`: the seed set with every change
+  /// stamped at or before `t` replayed. This is the timeline view the
+  /// chaos oracle consumes.
+  [[nodiscard]] std::vector<net::NodeId> members_at(sim::Time t) const;
+
+  void join(net::NodeId x, sim::Time at);
+  void drain(net::NodeId x, sim::Time at);
+  void retire(net::NodeId x, sim::Time at);
+  void replace(net::NodeId x, sim::Time at);
+
+  /// Observer for roster deltas (one at a time, last wins). The
+  /// FailoverManager registers here: a delta is a first-class event like
+  /// a cable transition.
+  using Observer = std::function<void(const RosterEvent&)>;
+  void set_observer(Observer o) { observer_ = std::move(o); }
+
+ private:
+  void apply(MembershipChange kind, net::NodeId x, sim::Time at);
+
+  std::uint32_t epoch_ = 0;
+  std::set<net::NodeId> members_;
+  std::set<net::NodeId> draining_;
+  std::vector<RosterEvent> history_;
+  Observer observer_;
+};
+
+}  // namespace myri::gm

@@ -26,6 +26,7 @@ class Status {
     kRecovering,      // port is replaying FAULT_DETECTED recovery — back off
     kInvalidArg,      // unusable buffer / length / destination
     kUnreachable,     // no route installed for the destination node
+    kDraining,        // destination is draining — no new streams admitted
   };
 
   constexpr Status() = default;
@@ -44,6 +45,7 @@ class Status {
       case kRecovering: return "port recovering";
       case kInvalidArg: return "invalid argument";
       case kUnreachable: return "destination unreachable";
+      case kDraining: return "destination draining";
     }
     return "unknown";
   }

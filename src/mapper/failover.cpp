@@ -30,9 +30,18 @@ FailoverManager::FailoverManager(gm::Cluster& cluster, Config cfg)
       [this](net::Topology::CableId id, bool down) {
         on_cable_event(id, down);
       });
+  joins_ = &reg.counter("mapper.joins");
+  drains_ = &reg.counter("mapper.drains");
+  replaces_ = &reg.counter("mapper.replaces");
   // The fabric roster: scrub() census-probes roster nodes the map never
   // discovered, and convergence is only "full" once all of them are in.
-  mapper_.set_expected_roster(cluster_.expected_nodes());
+  mapper_.set_expected_roster(cluster_.roster().members());
+  // Membership deltas are first-class control-plane events: a clean join
+  // folds in via census (no full remap), a retirement evicts the node
+  // from the map and the cross-epoch caches, a replacement re-pushes the
+  // table to the fresh card.
+  cluster_.set_membership_listener(
+      [this](const gm::RosterEvent& ev) { on_roster_event(ev); });
   // A node the current map does not contain announced itself or answered
   // a census probe (it was hung through discovery and just recovered):
   // fold it back in with a remap.
@@ -44,6 +53,57 @@ FailoverManager::FailoverManager(gm::Cluster& cluster, Config cfg)
   // (self-healing: an outage longer than the budget still converges once
   // the node is back, with no external trigger).
   mapper_.set_on_progress([this] { on_progress(); });
+}
+
+void FailoverManager::on_roster_event(const gm::RosterEvent& ev) {
+  switch (ev.kind) {
+    case gm::MembershipChange::kJoin: {
+      metrics::bump(joins_);
+      // Tell the mapper where the new card is cabled so a census probe
+      // reaches it before any discovery has scouted it.
+      const net::Placement& at = cluster_.fabric().placements()[ev.node];
+      mapper_.note_attach(
+          ev.node, DeviceRef{net::DeviceKind::kSwitch, at.sw}.key(), at.port);
+      mapper_.set_expected_roster(cluster_.roster().members());
+      if (mapper_.epoch() == 0) {
+        // Nothing mapped yet: the initial bring-up remap covers the
+        // joiner along with everyone else.
+        request_remap();
+        break;
+      }
+      // Clean join: no full remap. The scrub/census loop probes the new
+      // attach point; the announce/scout answer folds the node in and
+      // bumps the route epoch for just the affected rows.
+      on_progress();
+      mapper_.scrub();
+      if (!fully_converged()) arm_scrub();
+      break;
+    }
+    case gm::MembershipChange::kDrain:
+      metrics::bump(drains_);
+      // Still a member while draining: admission control is the nodes'
+      // business, the map keeps routing its in-flight traffic.
+      mapper_.set_expected_roster(cluster_.roster().members());
+      break;
+    case gm::MembershipChange::kRetire:
+      mapper_.retire_node(ev.node);
+      mapper_.set_expected_roster(cluster_.roster().members());
+      break;
+    case gm::MembershipChange::kReplace: {
+      metrics::bump(replaces_);
+      const net::Placement& at = cluster_.fabric().placements()[ev.node];
+      mapper_.note_attach(
+          ev.node, DeviceRef{net::DeviceKind::kSwitch, at.sw}.key(), at.port);
+      mapper_.node_replaced(ev.node);
+      mapper_.set_expected_roster(cluster_.roster().members());
+      on_progress();
+      if (!fully_converged()) arm_scrub();
+      break;
+    }
+    case gm::MembershipChange::kSeed:
+      mapper_.set_expected_roster(cluster_.roster().members());
+      break;
+  }
 }
 
 void FailoverManager::on_cable_event(net::Topology::CableId, bool) {

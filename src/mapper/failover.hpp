@@ -42,6 +42,13 @@
 //   mapper.scrub_repairs           full-table re-pushes to lagging nodes
 //   mapper.census_probes           probes to expected-but-unmapped nodes
 //   fabric.route_converge_us       epoch push -> every node acked
+//   mapper.joins/drains/replaces   membership deltas folded into the map
+//
+// Membership deltas (gm::Roster events) are first-class triggers next to
+// cable transitions: a clean join is folded in via census probe at its
+// recorded attach point (no full remap), a retirement evicts the node
+// from the map and the cross-epoch caches, a replacement re-pushes the
+// current table to the fresh card under the same NodeId.
 #pragma once
 
 #include <cstdint>
@@ -120,6 +127,7 @@ class FailoverManager {
 
  private:
   void on_cable_event(net::Topology::CableId id, bool down);
+  void on_roster_event(const gm::RosterEvent& ev);
   void on_progress();
   void request_remap();
   void start_remap();
@@ -145,6 +153,9 @@ class FailoverManager {
   std::function<void(bool)> user_done_;
 
   metrics::Counter* cable_events_ = nullptr;
+  metrics::Counter* joins_ = nullptr;
+  metrics::Counter* drains_ = nullptr;
+  metrics::Counter* replaces_ = nullptr;
   metrics::Counter* remaps_ok_ = nullptr;
   metrics::Counter* remaps_failed_ = nullptr;
   metrics::Histogram* remap_ns_ = nullptr;

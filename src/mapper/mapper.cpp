@@ -257,7 +257,12 @@ void Mapper::compute_and_distribute() {
   distributing_ = true;
   dist_start_ = home_.event_queue().now();
 
-  const std::vector<net::NodeId> ifaces = interfaces();
+  // Retired members are skipped even if a discovery scouted them before
+  // their cable was unplugged (the retire/remap race).
+  std::vector<net::NodeId> ifaces;
+  for (const net::NodeId x : interfaces()) {
+    if (retired_.count(x) == 0) ifaces.push_back(x);
+  }
   const auto home_routes =
       routes_from(vertex_key(net::DeviceKind::kInterface, home_.id()));
   for (net::NodeId x : ifaces) {
@@ -311,6 +316,7 @@ void Mapper::compute_and_distribute() {
 
 bool Mapper::fold_in(net::NodeId x) {
   if (running_) return false;  // discovery in flight: it re-scouts anyway
+  if (retired_.count(x) != 0) return false;
   const auto ait = last_attach_.find(x);
   if (ait == last_attach_.end()) return false;
   const auto [sw_key, sw_port] = ait->second;
@@ -425,6 +431,7 @@ void Mapper::on_route_ack(const net::Packet& pkt) {
   const net::RouteAck a = net::RouteAck::decode(pkt.payload);
   const net::NodeId node = pkt.src;
   ++stats_.route_acks;
+  if (retired_.count(node) != 0) return;  // stale ack from a retired card
 
   const bool known = table_.count(node) != 0;
   // Evidence a previously missing/lagging card is alive (see
@@ -639,6 +646,52 @@ void Mapper::scrub() {
 
 void Mapper::set_expected_roster(std::vector<net::NodeId> roster) {
   roster_ = std::set<net::NodeId>(roster.begin(), roster.end());
+}
+
+void Mapper::note_attach(net::NodeId x, std::uint32_t sw_key,
+                         std::uint8_t port) {
+  retired_.erase(x);
+  last_attach_[x] = {sw_key, port};
+}
+
+void Mapper::retire_node(net::NodeId x) {
+  retired_.insert(x);
+  roster_.erase(x);
+  last_route_.erase(x);
+  last_attach_.erase(x);
+  home_route_.erase(x);
+  converged_.erase(x);
+  table_.erase(x);
+  if (dist_.erase(x) != 0) check_distribution_done();
+  // Unlink the interface vertex from the graph so later recomputes stop
+  // routing to it (its attach port goes dark).
+  const std::uint32_t vkey = vertex_key(net::DeviceKind::kInterface, x);
+  const auto dit = devices_.find(vkey);
+  if (dit != devices_.end()) {
+    for (const auto& [port_at_iface, nb] : dit->second.neighbours) {
+      const auto sit = devices_.find(nb.first);
+      if (sit == devices_.end()) continue;
+      const auto back = sit->second.neighbours.find(nb.second);
+      if (back != sit->second.neighbours.end() && back->second.first == vkey) {
+        sit->second.neighbours.erase(back);
+      }
+    }
+    devices_.erase(dit);
+  }
+  trace("node " + std::to_string(x) + ": retired from roster");
+}
+
+void Mapper::node_replaced(net::NodeId x) {
+  retired_.erase(x);
+  if (epoch_ == 0) return;  // never mapped: bring-up handles it
+  converged_.erase(x);
+  if (dist_.count(x) != 0) return;  // in-flight push reaches the spare
+  if (table_.count(x) != 0) {
+    // Same attach point, fresh card with an empty table: everyone else's
+    // routes still hold, only x's table needs re-pushing.
+    push_routes(x);
+  }
+  // Not in the table: scrub's census probes knock at the attach point.
 }
 
 bool Mapper::roster_complete() const {

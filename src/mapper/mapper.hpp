@@ -143,9 +143,30 @@ class Mapper {
   void scrub();
 
   /// The nodes this fabric is supposed to contain (the owner feeds it
-  /// from gm::Cluster's endpoint placement). Drives scrub()'s census
+  /// from gm::Cluster's membership roster). Drives scrub()'s census
   /// probes and roster_complete(). Empty = no expectation (raw mapper).
   void set_expected_roster(std::vector<net::NodeId> roster);
+
+  // ---- membership deltas (FailoverManager forwards roster events) ----
+  /// Record where a hot-added (or replaced) node is cabled so census
+  /// probes reach it before any discovery has seen it: `sw_key` is the
+  /// switch's DeviceRef key, `port` its host port. Clears any retired
+  /// mark on `x`.
+  void note_attach(net::NodeId x, std::uint32_t sw_key, std::uint8_t port);
+  /// Retire `x` from the control plane: evict it from the expected
+  /// roster, the current table/graph, and the cross-epoch caches
+  /// (last_route_/last_attach_ — the membership-triggered eviction that
+  /// bounds their growth). A discovery already in flight is immunized:
+  /// retired interfaces are skipped at table-build time.
+  void retire_node(net::NodeId x);
+  /// A spare took over `x`'s id at the same attach point: the fresh card
+  /// holds no routes, so mark it unconverged and re-push its table (or
+  /// leave it to census when `x` was never mapped).
+  void node_replaced(net::NodeId x);
+  /// Attach points remembered across epochs (bounded by retirement).
+  [[nodiscard]] std::size_t tracked_attach_points() const {
+    return last_attach_.size();
+  }
   /// True when every expected-roster node is present in the current map
   /// (vacuously true with no roster set).
   [[nodiscard]] bool roster_complete() const;
@@ -249,6 +270,10 @@ class Mapper {
   std::size_t scrubs_since_map_ = 0;
   /// Nodes this fabric is supposed to contain (see set_expected_roster).
   std::set<net::NodeId> roster_;
+  /// Retired members: never mapped, folded in, or census-probed again
+  /// (guards against a discovery that scouted the node before its cable
+  /// was unplugged).
+  std::set<net::NodeId> retired_;
   std::map<net::NodeId, Distribution> dist_;
   std::set<net::NodeId> converged_;
   std::uint64_t dist_gen_ = 0;

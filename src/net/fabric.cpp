@@ -240,6 +240,41 @@ void FabricBuilder::compute_tiers() {
   tiers_ = worst;
 }
 
+std::vector<std::vector<bool>> FabricBuilder::port_usage() const {
+  std::vector<std::vector<bool>> used(sw_ids_.size());
+  for (std::size_t s = 0; s < sw_ids_.size(); ++s) {
+    used[s].assign(topo_.get_switch(sw_ids_[s]).num_ports(), false);
+    for (const Edge& e : adj_[s]) used[s][e.out_port] = true;
+  }
+  // placements_ store topology switch ids; map back to local indices.
+  std::vector<std::size_t> local(sw_ids_.size());
+  for (std::size_t s = 0; s < sw_ids_.size(); ++s) local[sw_ids_[s]] = s;
+  for (const Placement& p : placements_) used[local[p.sw]][p.port] = true;
+  return used;
+}
+
+std::optional<Placement> FabricBuilder::reserve_port() {
+  const auto used = port_usage();
+  for (std::size_t s = 0; s < sw_ids_.size(); ++s) {
+    for (std::size_t p = 0; p < used[s].size(); ++p) {
+      if (used[s][p]) continue;
+      const Placement at{sw_ids_[s], static_cast<std::uint8_t>(p)};
+      placements_.push_back(at);
+      local_index_.push_back(static_cast<std::uint16_t>(s));
+      return at;
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t FabricBuilder::free_ports() const {
+  std::size_t n = 0;
+  for (const auto& sw : port_usage()) {
+    for (const bool u : sw) n += u ? 0 : 1;
+  }
+  return n;
+}
+
 std::optional<std::vector<std::uint8_t>> FabricBuilder::route(
     NodeId a, NodeId b) const {
   if (a == b) return std::nullopt;

@@ -87,12 +87,23 @@ class FabricBuilder {
   /// Max endpoints the preset supports (0 = unsatisfiable config).
   [[nodiscard]] static std::size_t capacity(const FabricConfig& cfg);
 
+  /// Reserve a free switch port for a hot-added endpoint: the first
+  /// (switch, port) — in local switch order, then port order — occupied
+  /// by neither a placement nor a trunk. Appends the placement (the new
+  /// node id is placements().size() - 1) so route()/routes_from() cover
+  /// it. nullopt when the as-built fabric has no free port.
+  std::optional<Placement> reserve_port();
+
+  /// Ports reserve_port() could still hand out on the as-built switches.
+  [[nodiscard]] std::size_t free_ports() const;
+
  private:
   struct Edge {
     std::uint16_t to;       // local switch index
     std::uint8_t out_port;  // port taken at the source switch
   };
 
+  std::vector<std::vector<bool>> port_usage() const;
   void build_single_switch();
   void build_chain(bool closed);
   void build_fat_tree();

@@ -58,11 +58,40 @@ Link& Topology::attach_endpoint(PacketSink& sink, std::uint16_t sw,
   up.connect(s, port);
   down.connect(sink, 0);
   s.connect(port, down);
+  endpoints_[(static_cast<std::uint32_t>(sw) << 8) | port] = {&up, &down};
   return up;
+}
+
+void Topology::set_endpoint_down(std::uint16_t sw, std::uint8_t port,
+                                 bool down) {
+  auto [up, dn] =
+      endpoints_.at((static_cast<std::uint32_t>(sw) << 8) | port);
+  up->set_down(down);
+  dn->set_down(down);
+}
+
+Link& Topology::reattach_endpoint(PacketSink& sink, std::uint16_t sw,
+                                  std::uint8_t port, std::string name) {
+  const std::uint32_t key = (static_cast<std::uint32_t>(sw) << 8) | port;
+  if (auto it = endpoints_.find(key); it != endpoints_.end()) {
+    it->second.first->set_down(true);
+    it->second.second->set_down(true);
+  }
+  // attach_endpoint re-points the switch port's egress at the new down
+  // link and overwrites the registry entry.
+  return attach_endpoint(sink, sw, port, std::move(name));
 }
 
 void Topology::set_all_faults(const LinkFaults& f) {
   for (auto& l : links_) l->set_faults(f);
+}
+
+void Topology::set_endpoint_faults(std::uint16_t sw, std::uint8_t port,
+                                   const LinkFaults& f) {
+  auto [up, dn] =
+      endpoints_.at((static_cast<std::uint32_t>(sw) << 8) | port);
+  up->set_faults(f);
+  dn->set_faults(f);
 }
 
 void Topology::set_trace(sim::Trace* t) {

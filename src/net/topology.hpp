@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -56,8 +57,25 @@ class Topology {
   Link& attach_endpoint(PacketSink& sink, std::uint16_t sw, std::uint8_t port,
                         std::string name);
 
+  /// Unplug / replug an endpoint cable (both directions). A retired node
+  /// is unplugged so discovery and census can never re-find it.
+  void set_endpoint_down(std::uint16_t sw, std::uint8_t port, bool down);
+
+  /// Re-point an endpoint switch port at a replacement endpoint (spare
+  /// NIC on a dead card's cable). The old endpoint's links are taken down
+  /// permanently — a later recovery of the old card transmits into an
+  /// unplugged cable. Returns the spare's transmit link.
+  Link& reattach_endpoint(PacketSink& sink, std::uint16_t sw,
+                          std::uint8_t port, std::string name);
+
   /// Apply a fault profile to every link (typical for error-rate sweeps).
   void set_all_faults(const LinkFaults& f);
+
+  /// Apply a fault profile to one endpoint cable only (hot-added cables
+  /// get the cluster's base profile without stomping an active
+  /// set_all_faults fault window on the rest of the fabric).
+  void set_endpoint_faults(std::uint16_t sw, std::uint8_t port,
+                           const LinkFaults& f);
 
   void set_trace(sim::Trace* t);
 
@@ -81,6 +99,9 @@ class Topology {
   std::vector<std::unique_ptr<Switch>> switches_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<std::pair<Link*, Link*>> cables_;  // switch-to-switch pairs
+  // Endpoint cable pairs (up, down) keyed by (sw << 8) | port, so hot
+  // membership ops can unplug or re-point a specific switch port.
+  std::map<std::uint32_t, std::pair<Link*, Link*>> endpoints_;
   CableListener cable_listener_;
   sim::Trace* trace_ = nullptr;
   metrics::Registry* metrics_ = nullptr;

@@ -131,7 +131,7 @@ TEST(DirectedSend, InterleavesInOrderWithRegularMessages) {
        .dst_port = 3,
        .remote_vaddr = static_cast<std::uint32_t>(w.region.addr),
        .callback = [&](bool) { order.push_back("put"); }}).ok());
-  w.tx->send(src, 64, 1, 3);
+  (void)w.tx->post(src, 64, {.dst = 1, .dst_port = 3});
   w.cluster.run_for(sim::msec(5));
   // Same stream: the put completed before the message was delivered.
   ASSERT_EQ(order.size(), 2u);

@@ -461,7 +461,7 @@ TEST(Figure4, FtgmRecoveryDeliversExactlyOnce) {
   }
   gm::Buffer b = tx.alloc_dma_buffer(64);
   for (int i = 0; i < 20; ++i) {
-    tx.send(b, 64, 1, 3);
+    (void)tx.post(b, 64, {.dst = 1, .dst_port = 3});
     cluster.run_for(sim::msec(1));
   }
   ASSERT_EQ(received, 20);
@@ -557,7 +557,7 @@ TEST(Figure5, FtgmAckOrderInvariantDuringNormalOperation) {
   });
   gm::Buffer b = tx.alloc_dma_buffer(64);
   for (int i = 0; i < 10; ++i) {
-    tx.send(b, 64, 1, 3);
+    (void)tx.post(b, 64, {.dst = 1, .dst_port = 3});
     // Single-fragment messages: events_posted must never lag acks_tx.
     while (cluster.node(0).port(2)->stats().sends_completed ==
                static_cast<std::uint64_t>(i) &&

@@ -192,7 +192,7 @@ TEST(GmGet, InterleavesWithRegularTraffic) {
   w.target->set_receive_handler([&](const gm::RecvInfo&) { ++msgs; });
   bool got = false;
   gm::Buffer sbuf = w.reader->alloc_dma_buffer(128);
-  w.reader->send(sbuf, 128, 1, 3);
+  (void)w.reader->post(sbuf, 128, {.dst = 1, .dst_port = 3});
   w.reader->get_with_callback(
       w.local, 256, 1, 3, static_cast<std::uint32_t>(w.exported.addr),
       [&](bool r) { got = r; });

@@ -20,10 +20,10 @@ TEST(GmPort, SendTokensAreFinite) {
   Buffer b = p.alloc_dma_buffer(64);
   EXPECT_EQ(p.send_tokens_free(), 4u);
   for (int i = 0; i < 4; ++i) {
-    EXPECT_TRUE(p.send(b, 64, 1, 3));
+    EXPECT_TRUE(p.post(b, 64, {.dst = 1, .dst_port = 3}).ok());
   }
   EXPECT_EQ(p.send_tokens_free(), 0u);
-  EXPECT_FALSE(p.send(b, 64, 1, 3));  // gm_send with no token fails
+  EXPECT_FALSE(p.post(b, 64, {.dst = 1, .dst_port = 3}).ok());  // no token
 }
 
 TEST(GmPort, TokensReturnOnCompletion) {
@@ -34,7 +34,7 @@ TEST(GmPort, TokensReturnOnCompletion) {
   Buffer rb = rx.alloc_dma_buffer(128);
   rx.provide_receive_buffer(rb);
   Buffer b = tx.alloc_dma_buffer(64);
-  EXPECT_TRUE(tx.send(b, 64, 1, 3));
+  EXPECT_TRUE(tx.post(b, 64, {.dst = 1, .dst_port = 3}).ok());
   EXPECT_EQ(tx.send_tokens_free(), 3u);
   cluster.run_for(sim::msec(2));
   EXPECT_EQ(tx.send_tokens_free(), 4u);
@@ -62,7 +62,7 @@ TEST(GmPort, RecvTokenReturnsOnReceive) {
   rx.provide_receive_buffer(rb);
   EXPECT_EQ(rx.recv_tokens_free(), 1u);
   Buffer sb = tx.alloc_dma_buffer(64);
-  tx.send(sb, 64, 1, 3);
+  (void)tx.post(sb, 64, {.dst = 1, .dst_port = 3});
   cluster.run_for(sim::msec(2));
   EXPECT_EQ(rx.recv_tokens_free(), 2u);
 }
@@ -72,10 +72,10 @@ TEST(GmPort, InvalidBufferRejected) {
   auto& p = cluster.node(0).open_port(2);
   cluster.run_for(sim::usec(900));
   Buffer invalid;
-  EXPECT_FALSE(p.send(invalid, 10, 1, 3));
+  EXPECT_FALSE(p.post(invalid, 10, {.dst = 1, .dst_port = 3}).ok());
   EXPECT_FALSE(p.provide_receive_buffer(invalid));
   Buffer b = p.alloc_dma_buffer(16);
-  EXPECT_FALSE(p.send(b, 32, 1, 3));  // len > buffer size
+  EXPECT_FALSE(p.post(b, 32, {.dst = 1, .dst_port = 3}).ok());  // len > buffer size
 }
 
 TEST(GmPort, AllocRegistersPages) {
@@ -120,7 +120,7 @@ TEST(GmPort, ReceiveHandlerSeesCorrectMetadata) {
   RecvInfo seen;
   rx.set_receive_handler([&](const RecvInfo& info) { seen = info; });
   Buffer sb = tx.alloc_dma_buffer(100);
-  tx.send(sb, 100, 1, 3);
+  (void)tx.post(sb, 100, {.dst = 1, .dst_port = 3});
   cluster.run_for(sim::msec(2));
   EXPECT_EQ(seen.len, 100u);
   EXPECT_EQ(seen.src, 0u);
@@ -138,7 +138,7 @@ TEST(GmPort, ZeroCopyDataLandsInProvidedBuffer) {
   Buffer sb = tx.alloc_dma_buffer(64);
   auto src = cluster.node(0).memory().at(sb.addr, 64);
   for (int i = 0; i < 64; ++i) src[i] = static_cast<std::byte>(i * 3);
-  tx.send(sb, 64, 1, 3);
+  (void)tx.post(sb, 64, {.dst = 1, .dst_port = 3});
   cluster.run_for(sim::msec(2));
   auto dst = cluster.node(1).memory().at(rb.addr, 64);
   for (int i = 0; i < 64; ++i) {
@@ -155,7 +155,7 @@ TEST(GmPort, StatsTrackTraffic) {
     rx.provide_receive_buffer(rx.alloc_dma_buffer(300));
   }
   for (int i = 0; i < 3; ++i) {
-    tx.send(tx.alloc_dma_buffer(300), 300, 1, 3);
+    (void)tx.post(tx.alloc_dma_buffer(300), 300, {.dst = 1, .dst_port = 3});
   }
   cluster.run_for(sim::msec(3));
   EXPECT_EQ(tx.stats().sends_posted, 3u);
@@ -171,7 +171,7 @@ TEST(GmPort, HostCpuChargedPerApiCall) {
   cluster.run_for(sim::usec(900));
   const auto before = cluster.node(0).cpu().busy_ns();
   Buffer b = tx.alloc_dma_buffer(64);
-  tx.send(b, 64, 1, 3);
+  (void)tx.post(b, 64, {.dst = 1, .dst_port = 3});
   cluster.run_for(sim::msec(1));
   // GM send overhead is 0.30 us (paper Table 2).
   EXPECT_GE(cluster.node(0).cpu().busy_ns() - before, sim::usecf(0.30));
@@ -185,7 +185,7 @@ TEST(GmPort, FtgmChargesBackupOverhead) {
     auto& rx = c->node(1).open_port(3);
     c->run_for(sim::usec(900));
     rx.provide_receive_buffer(rx.alloc_dma_buffer(128));
-    tx.send(tx.alloc_dma_buffer(64), 64, 1, 3);
+    (void)tx.post(tx.alloc_dma_buffer(64), 64, {.dst = 1, .dst_port = 3});
     c->run_for(sim::msec(2));
   }
   // FTGM's send path costs ~0.25 us more host CPU (token backup).
@@ -206,7 +206,7 @@ TEST(GmPort, PendingEventsDrainInOrder) {
     lens.push_back(info.len);
   });
   for (std::uint32_t i = 1; i <= 10; ++i) {
-    tx.send(tx.alloc_dma_buffer(64), i, 1, 3);
+    (void)tx.post(tx.alloc_dma_buffer(64), i, {.dst = 1, .dst_port = 3});
   }
   cluster.run_for(sim::msec(5));
   ASSERT_EQ(lens.size(), 10u);

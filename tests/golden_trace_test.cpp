@@ -53,7 +53,7 @@ std::string record_recovery_trace() {
   cluster.run_for(sim::usec(900));
   rx.provide_receive_buffer(rx.alloc_dma_buffer(256));
   gm::Buffer b = tx.alloc_dma_buffer(256);
-  tx.send(b, 256, 1, 3);
+  (void)tx.post(b, 256, {.dst = 1, .dst_port = 3});
   cluster.run_for(sim::msec(1));
 
   cluster.node(0).mcp().inject_hang("golden");

@@ -112,10 +112,10 @@ TEST(Integration, HighPriorityFragmentsOvertakeBulkTraffic) {
   });
 
   gm::Buffer big = bulk.alloc_dma_buffer(512 * 1024);  // 128 fragments
-  bulk.send(big, 512 * 1024, 1, 3, /*priority=*/0);
+  (void)bulk.post(big, 512 * 1024, {.dst = 1, .dst_port = 3, .priority = 0});
   cluster.run_for(sim::usec(200));  // bulk transfer underway
   gm::Buffer small = urgent.alloc_dma_buffer(64);
-  urgent.send(small, 64, 1, 3, /*priority=*/1);
+  (void)urgent.post(small, 64, {.dst = 1, .dst_port = 3, .priority = 1});
   cluster.run_for(sim::msec(30));
   ASSERT_GT(urgent_done, 0u);
   ASSERT_GT(bulk_done, 0u);

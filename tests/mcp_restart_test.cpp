@@ -31,7 +31,7 @@ struct World {
   }
   bool send_one() {
     gm::Buffer b = tx->alloc_dma_buffer(64);
-    return tx->send(b, 64, 1, 3);
+    return tx->post(b, 64, {.dst = 1, .dst_port = 3}).ok();
   }
   std::unique_ptr<Cluster> cluster;
   gm::Port* tx = nullptr;

@@ -285,5 +285,145 @@ TEST(ScenarioChaos, CensusProbeConvergesWhenTheWholeAnnounceBudgetIsLost) {
   EXPECT_EQ(fi::ScenarioRunner::run(s).digest, r.digest);
 }
 
+// ---- membership profiles (roster deltas under traffic) -----------------
+
+TEST(ScenarioChaos, JoinDuringLossWindow) {
+  // Hot-add while every link is lossy: the joiner's fold-in census probe,
+  // its MAP_ROUTE chunks and the verification stream all have to fight
+  // the same drop rate. Route-convergence requires the joiner on the
+  // mapper's epoch at horizon regardless.
+  fi::Scenario s;
+  s.seed = 31;
+  s.nodes = 6;
+  s.fabric = net::FabricPreset::kFatTree;
+  s.msgs = 30;
+  s.msg_len = 1024;
+  using K = fi::ScenarioEvent::Kind;
+  fi::ScenarioEvent win;
+  win.kind = K::kFaultWindow;
+  win.at = fi::Scenario::kWarmup + sim::usec(200);
+  win.duration = sim::msec(5);
+  win.drop = 0.25;
+  win.corrupt = 0.05;
+  fi::ScenarioEvent join;
+  join.kind = K::kNodeJoin;
+  join.at = fi::Scenario::kWarmup + sim::msec(2);  // inside the window
+  s.events = {win, join};
+
+  const fi::RunReport r = fi::ScenarioRunner::run(s);
+  if (r.failed()) {
+    report_and_dump(s, r, "join_during_loss");
+    return;
+  }
+  // 6 ring streams + the joiner's 8-message verification stream.
+  EXPECT_EQ(r.deliveries, 6u * 30u + 8u);
+  EXPECT_EQ(fi::ScenarioRunner::run(s).digest, r.digest);
+}
+
+TEST(ScenarioChaos, DrainMidRemap) {
+  // Drain ordered while a trunk-kill remap is still distributing: the
+  // drain gate, the GBN tails re-routed around the dead trunk and the
+  // retirement handshake all overlap. The membership invariant insists
+  // the drain still terminates in a retirement.
+  fi::Scenario s;
+  s.seed = 37;
+  s.nodes = 8;
+  s.fabric = net::FabricPreset::kFatTree;
+  s.msgs = 30;
+  s.msg_len = 1024;
+  using K = fi::ScenarioEvent::Kind;
+  fi::ScenarioEvent down;
+  down.kind = K::kCableDown;
+  down.cable = 1;
+  down.at = fi::Scenario::kWarmup + sim::usec(400);
+  fi::ScenarioEvent drain;
+  drain.kind = K::kNodeDrain;
+  drain.node = 3;
+  drain.at = down.at + sim::usec(300);  // remap chunks still in flight
+  s.events = {down, drain};
+
+  const fi::RunReport r = fi::ScenarioRunner::run(s);
+  if (r.failed()) {
+    report_and_dump(s, r, "drain_mid_remap");
+    return;
+  }
+  EXPECT_GE(r.remaps, 1u);
+  // Every ring stream completes exactly-once (the drained node finishes
+  // its in-flight traffic before retiring); drains add no extra stream.
+  EXPECT_EQ(r.deliveries, 8u * 30u);
+  EXPECT_EQ(fi::ScenarioRunner::run(s).digest, r.digest);
+}
+
+TEST(ScenarioChaos, ReplaceDuringRecovery) {
+  // Spare swap while the FTD is mid-recovery on the dead card: the
+  // quarantined card's late replay must transmit into its cut cable (no
+  // duplicate deliveries), and the spare must land on the mapper's epoch
+  // and serve the verification stream.
+  fi::Scenario s;
+  s.seed = 41;
+  s.nodes = 8;
+  s.fabric = net::FabricPreset::kFatTree;
+  s.msgs = 25;
+  s.msg_len = 1024;
+  using K = fi::ScenarioEvent::Kind;
+  fi::ScenarioEvent hang;
+  hang.kind = K::kNicHang;
+  hang.node = 5;
+  hang.at = fi::Scenario::kWarmup + sim::usec(500);
+  fi::ScenarioEvent repl;
+  repl.kind = K::kNodeReplace;
+  repl.node = 5;
+  repl.at = hang.at + sim::msec(200);  // FTD recovery still in flight
+  s.events = {hang, repl};
+
+  const fi::RunReport r = fi::ScenarioRunner::run(s);
+  if (r.failed()) {
+    report_and_dump(s, r, "replace_during_recovery");
+    return;
+  }
+  // The dead card takes its two ring streams with it (abandoned, partial
+  // by design); the other 6 complete and the spare's verification stream
+  // delivers all 8.
+  EXPECT_GE(r.deliveries, 6u * 25u + 8u);
+  EXPECT_EQ(fi::ScenarioRunner::run(s).digest, r.digest);
+}
+
+TEST(ScenarioChaos, FatTree64NodeMembershipChurn) {
+  // Full membership churn at fabric scale: a join, a drain and a replace
+  // on a 64-node fat-tree, all under baseline loss, with the digest
+  // re-run pinning seed stability for the membership event paths.
+  fi::Scenario s;
+  s.seed = 47;
+  s.nodes = 64;
+  s.fabric = net::FabricPreset::kFatTree;
+  s.radix = 10;  // 13 leaves x 5 hosts: one free port for the joiner
+  s.msgs = 20;
+  s.msg_len = 1200;
+  s.drop = 0.01;
+  using K = fi::ScenarioEvent::Kind;
+  fi::ScenarioEvent join;
+  join.kind = K::kNodeJoin;
+  join.at = fi::Scenario::kWarmup + sim::msec(1);
+  fi::ScenarioEvent drain;
+  drain.kind = K::kNodeDrain;
+  drain.node = 20;
+  drain.at = fi::Scenario::kWarmup + sim::msec(30);
+  fi::ScenarioEvent repl;
+  repl.kind = K::kNodeReplace;
+  repl.node = 40;
+  repl.at = fi::Scenario::kWarmup + sim::msec(60);
+  s.events = {join, drain, repl};
+
+  const fi::RunReport r = fi::ScenarioRunner::run(s);
+  if (r.failed()) {
+    report_and_dump(s, r, "fattree64_membership");
+    return;
+  }
+  // 62 surviving ring streams complete (two are abandoned to the replaced
+  // card) plus two 8-message verification streams.
+  EXPECT_GE(r.deliveries, 62u * 20u + 16u);
+  EXPECT_EQ(fi::ScenarioRunner::run(s).digest, r.digest);
+}
+
 }  // namespace
 }  // namespace myri

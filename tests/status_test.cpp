@@ -1,6 +1,6 @@
 // gm::Status semantics: the typed result of the GM host API. Each code
 // must be distinguishable at the call site (retry now vs back off vs give
-// up), and the bool shims must keep their historical meaning.
+// up); post() is the single send entry point.
 #include <gtest/gtest.h>
 
 #include "gm/cluster.hpp"
@@ -25,7 +25,7 @@ TEST(Status, CodesConvertContextuallyAndName) {
   EXPECT_TRUE(static_cast<bool>(Status(Status::kOk)));
   for (const auto c : {Status::kNoSendToken, Status::kNoRecvToken,
                        Status::kRecovering, Status::kInvalidArg,
-                       Status::kUnreachable}) {
+                       Status::kUnreachable, Status::kDraining}) {
     const Status st(c);
     EXPECT_FALSE(st.ok());
     EXPECT_FALSE(static_cast<bool>(st));
@@ -130,15 +130,19 @@ TEST(Status, RecoveringPortRefusesWorkUntilReplayCompletes) {
   EXPECT_TRUE(tx.post(b, 256, {.dst = 1, .dst_port = 3}).ok());
 }
 
-TEST(Status, BoolShimKeepsHistoricalMeaning) {
+TEST(Status, PostIsTheSingleSendEntryPoint) {
+  // The PR-2 fire-and-forget bool shim is gone: post() carries the same
+  // contextual-bool convenience without hiding the refusal reason.
   Cluster cluster(two_nodes());
   gm::Port::Config pc;
   pc.send_tokens = 1;
   auto& tx = cluster.node(0).open_port(2, pc);
   cluster.run_for(sim::usec(900));
   gm::Buffer b = tx.alloc_dma_buffer(64);
-  EXPECT_TRUE(tx.send(b, 64, 1, 3));
-  EXPECT_FALSE(tx.send(b, 64, 1, 3));  // token gone => false, as before
+  EXPECT_TRUE(tx.post(b, 64, {.dst = 1, .dst_port = 3}).ok());
+  const Status again = tx.post(b, 64, {.dst = 1, .dst_port = 3});
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), Status::kNoSendToken);
 }
 
 }  // namespace

@@ -51,7 +51,7 @@ TEST(Trace, ClusterEmitsWireEventsWhenTraced) {
   cluster.run_for(sim::usec(900));
   rx.provide_receive_buffer(rx.alloc_dma_buffer(128));
   gm::Buffer b = tx.alloc_dma_buffer(64);
-  tx.send(b, 64, 1, 3);
+  (void)tx.post(b, 64, {.dst = 1, .dst_port = 3});
   cluster.run_for(sim::msec(2));
 
   const std::string s = out.str();
