@@ -7,6 +7,7 @@
 //               [--join-at USEC] [--drain-at USEC] [--drain-node NODE]
 //               [--replace-at USEC] [--replace-node NODE]
 //               [--seed S] [--horizon-ms MS] [--trace]
+//               [--soak VIRT_SECONDS] [--soak-retain-caches]
 //
 // Runs a verified all-pairs-neighbour workload under the given fault
 // scenario and prints a full report: delivery/exactly-once status, MCP and
@@ -24,6 +25,13 @@
 // --replace-at swaps a node for a spare at the same port and NodeId
 // (combine with --hang-at/--victim to replace a genuinely dead card; its
 // two ring streams are abandoned by design).
+//
+// --soak N runs the long-horizon soak instead: N virtual seconds of
+// continuous background fault arrival (all kinds plus membership churn)
+// on a 64-node fat-tree by default, with every oracle invariant and the
+// drift probes checked each 500 ms window. On failure the schedule is
+// shrunk (window-granular ddmin) and written as repro_soak_<seed>.json
+// for bit-identical replay through scenario_replay.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +40,9 @@
 #include <string>
 #include <vector>
 
+#include "faultinject/scenario.hpp"
+#include "faultinject/shrinker.hpp"
+#include "faultinject/soak.hpp"
 #include "faultinject/workload.hpp"
 #include "gm/cluster.hpp"
 #include "mapper/failover.hpp"
@@ -60,6 +71,11 @@ struct Options {
   std::uint64_t seed = 42;
   double horizon_ms = 0;  // 0 = auto
   bool trace = false;
+  double soak_s = 0;      // >0 = soak mode, virtual seconds
+  bool soak_retain_caches = false;
+  // Soak mode has its own topology defaults (64-node fat-tree, radix
+  // 10); explicit flags still win.
+  bool nodes_set = false, fabric_set = false, radix_set = false;
 };
 
 Options parse(int argc, char** argv) {
@@ -73,7 +89,9 @@ Options parse(int argc, char** argv) {
   };
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--nodes") o.nodes = std::atoi(next(i));
+    if (a == "--nodes") { o.nodes = std::atoi(next(i)); o.nodes_set = true; }
+    else if (a == "--soak") o.soak_s = std::atof(next(i));
+    else if (a == "--soak-retain-caches") o.soak_retain_caches = true;
     else if (a == "--fabric") {
       const char* v = next(i);
       const auto p = net::parse_fabric_preset(v);
@@ -84,7 +102,8 @@ Options parse(int argc, char** argv) {
         std::exit(2);
       }
       o.fabric = *p;
-    } else if (a == "--radix") o.radix = std::atoi(next(i));
+      o.fabric_set = true;
+    } else if (a == "--radix") { o.radix = std::atoi(next(i)); o.radix_set = true; }
     else if (a == "--kill-cable-at") o.kill_cable_at_us = std::atof(next(i));
     else if (a == "--cable") o.cable = std::atoi(next(i));
     else if (a == "--join-at") o.join_at_us = std::atof(next(i));
@@ -140,8 +159,79 @@ Options parse(int argc, char** argv) {
 
 }  // namespace
 
+namespace {
+
+int run_soak(const Options& o) {
+  fi::SoakProfile sp;
+  sp.seed = o.seed;
+  if (o.nodes_set) sp.nodes = o.nodes;
+  if (o.fabric_set) sp.fabric = o.fabric;
+  if (o.radix_set) sp.radix = static_cast<std::uint8_t>(o.radix);
+  sp.duration = sim::usecf(o.soak_s * 1e6);
+  sp.retain_caches = o.soak_retain_caches;
+  if (sp.duration < sim::sec(300)) {
+    // Smoke-scale soak: tighten the arrival rates so a short run still
+    // sees every fault kind (and several churn cycles).
+    sp.hang_every = sim::sec(20);
+    sp.cable_every = sim::sec(25);
+    sp.cable_outage = sim::sec(3);
+    sp.flip_every = sim::sec(30);
+    sp.loss_every = sim::sec(15);
+    sp.churn_every = sim::sec(12);
+    sp.replace_every = sim::sec(30);
+  }
+  const fi::Scenario sc = fi::make_soak_scenario(sp);
+  std::printf("soak: %d nodes on %s fabric (radix %d), %.0f virtual s, "
+              "%zu scheduled faults, %d msgs/stream every %.0f ms, "
+              "check window %.0f ms, seed %llu%s\n",
+              sc.nodes, net::to_string(sc.fabric), sc.radix, o.soak_s,
+              sc.events.size(), sc.msgs,
+              static_cast<double>(sc.send_gap) / 1e6,
+              static_cast<double>(sc.check_window) / 1e6,
+              static_cast<unsigned long long>(sc.seed),
+              sc.retain_caches ? " [leak planted]" : "");
+  const fi::RunReport rep = fi::ScenarioRunner::run(sc);
+  std::printf("soak: %.1f virtual s run, %llu deliveries, %llu windows "
+              "checked, %llu drift sweeps, %llu recoveries, %llu remaps, "
+              "digest %llx\n",
+              sim::to_sec(rep.end_time),
+              static_cast<unsigned long long>(rep.deliveries),
+              static_cast<unsigned long long>(rep.windows_checked),
+              static_cast<unsigned long long>(rep.drift_checks),
+              static_cast<unsigned long long>(rep.recoveries),
+              static_cast<unsigned long long>(rep.remaps),
+              static_cast<unsigned long long>(rep.digest));
+  if (!rep.failed()) {
+    std::printf("result: soak clean — every invariant held in every "
+                "window\n");
+    return 0;
+  }
+  std::printf("soak FAILED: %s at %.3f s (window %lld): %s\n",
+              rep.failure_signature().c_str(), sim::to_sec(rep.violation_at),
+              static_cast<long long>(rep.violation_window),
+              rep.violation_detail.c_str());
+  fi::Shrinker::Config scfg;
+  scfg.max_attempts = 60;
+  const fi::ShrinkResult sr = fi::Shrinker::shrink(sc, rep, scfg);
+  const std::string path =
+      "repro_soak_" + std::to_string(o.seed) + ".json";
+  if (fi::write_repro(path, sr.minimal, sr.report)) {
+    std::printf("shrunk to %zu event(s) / %.1f virtual s in %d attempts; "
+                "repro written to %s\n",
+                sr.minimal.events.size(),
+                sim::to_sec(sr.minimal.effective_horizon()), sr.attempts,
+                path.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+  }
+  return 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
+  if (o.soak_s > 0) return run_soak(o);
 
   gm::ClusterConfig cc;
   cc.nodes = o.nodes;

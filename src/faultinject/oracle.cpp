@@ -59,6 +59,27 @@ void Oracle::on_delivery(std::size_t stream, int msg) {
   }
 }
 
+void Oracle::add_drift_probe(std::string name,
+                             std::function<std::uint64_t()> sample,
+                             std::function<std::uint64_t()> bound) {
+  drift_probes_.push_back(
+      DriftProbe{std::move(name), std::move(sample), std::move(bound)});
+}
+
+void Oracle::check_drift() {
+  if (!ok()) return;
+  ++drift_checks_;
+  for (const DriftProbe& p : drift_probes_) {
+    if (!ok()) break;
+    const std::uint64_t v = p.sample();
+    const std::uint64_t b = p.bound();
+    if (v > b) {
+      violate("state-drift", p.name + ": " + std::to_string(v) +
+                                 " past bound " + std::to_string(b));
+    }
+  }
+}
+
 void Oracle::check_now() {
   if (!ok()) return;
   ++checks_;

@@ -29,6 +29,14 @@
 //                        failover manager did not give up its repair loop
 //                        (final_check only; needs a route authority, see
 //                        set_route_authority)
+//   state-drift          no registered drift probe samples past its bound
+//                        (check_drift only; soak mode samples per check
+//                        window). Probes watch state that must stay
+//                        epoch-bounded over an arbitrarily long run:
+//                        event-queue occupancy, mapper cross-epoch cache
+//                        sizes, windowed-histogram sample counts, retry
+//                        budget counters. Unbounded growth is a leak even
+//                        when every delivery invariant still holds.
 //
 // The first violation is recorded with its virtual timestamp and checking
 // stops (later checks would cascade). The oracle is deterministic: its
@@ -36,6 +44,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -87,6 +96,20 @@ class Oracle {
   /// Run one full invariant sweep right now.
   void check_now();
 
+  /// Register a drift probe: `sample` reads some internal-state size,
+  /// `bound` its allowed ceiling (a callable, because legitimate bounds
+  /// move with cluster size / roster churn). check_drift() violates
+  /// "state-drift" when sample() > bound(). Probes run only from
+  /// check_drift(), so legacy end-only schedules pay nothing.
+  void add_drift_probe(std::string name,
+                       std::function<std::uint64_t()> sample,
+                       std::function<std::uint64_t()> bound);
+
+  /// Sample every drift probe once (soak mode runs this per check
+  /// window). Records the first probe over its bound as a "state-drift"
+  /// violation, naming the probe and both values.
+  void check_drift();
+
   /// Route authority for the route-convergence invariant: the mapper
   /// behind `fm` is the single source of truth for what every node's
   /// installed epoch must be after quiesce. Optional — schedules without
@@ -111,6 +134,9 @@ class Oracle {
     return violations_;
   }
   [[nodiscard]] std::uint64_t checks_run() const noexcept { return checks_; }
+  [[nodiscard]] std::uint64_t drift_checks_run() const noexcept {
+    return drift_checks_;
+  }
 
  private:
   struct Stream {
@@ -118,6 +144,12 @@ class Oracle {
     std::uint32_t send_tokens = 0;
     std::uint32_t recv_tokens = 0;
     int next_msg = 0;  // FIFO cursor: the only index allowed next
+  };
+
+  struct DriftProbe {
+    std::string name;
+    std::function<std::uint64_t()> sample;
+    std::function<std::uint64_t()> bound;
   };
 
   void violate(const std::string& invariant, const std::string& detail);
@@ -133,11 +165,13 @@ class Oracle {
   std::vector<net::NodeId> expected_roster_;
   Config cfg_;
   std::vector<Stream> streams_;
+  std::vector<DriftProbe> drift_probes_;
   std::vector<Violation> violations_;
   sim::Time last_check_ = 0;
   bool checked_once_ = false;
   bool attached_ = false;
   std::uint64_t checks_ = 0;
+  std::uint64_t drift_checks_ = 0;
 };
 
 }  // namespace myri::fi

@@ -1,10 +1,12 @@
 #include "faultinject/scenario.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <stdexcept>
 #include <utility>
 
@@ -72,6 +74,7 @@ const char* to_string(ScenarioEvent::Kind k) {
     case ScenarioEvent::Kind::kNodeJoin: return "node-join";
     case ScenarioEvent::Kind::kNodeDrain: return "node-drain";
     case ScenarioEvent::Kind::kNodeReplace: return "node-replace";
+    case ScenarioEvent::Kind::kTokenLeak: return "token-leak";
   }
   return "?";
 }
@@ -82,7 +85,7 @@ std::optional<ScenarioEvent::Kind> parse_kind(const std::string& s) {
   using K = ScenarioEvent::Kind;
   for (K k : {K::kNicHang, K::kCableDown, K::kCableUp, K::kFaultWindow,
               K::kSramFlip, K::kDoubleDeliver, K::kNodeJoin, K::kNodeDrain,
-              K::kNodeReplace}) {
+              K::kNodeReplace, K::kTokenLeak}) {
     if (s == to_string(k)) return k;
   }
   return std::nullopt;
@@ -193,38 +196,38 @@ Scenario Scenario::random(std::uint64_t rand_seed) {
 
 // ---- validation ----
 
-namespace {
-
-std::string validate(const Scenario& s) {
-  net::FabricConfig fc{s.fabric, s.nodes, s.radix};
+std::string Scenario::validate() const {
+  net::FabricConfig fc{fabric, nodes, radix};
   const std::size_t cap = net::FabricBuilder::capacity(fc);
-  if (s.nodes < 2 || static_cast<std::size_t>(s.nodes) > cap) {
+  if (nodes < 2 || static_cast<std::size_t>(nodes) > cap) {
     return "nodes must be 2.." + std::to_string(cap) + " for fabric " +
-           std::string(net::to_string(s.fabric));
+           std::string(net::to_string(fabric));
   }
-  if (s.msgs < 1 || s.msgs > 100'000) return "msgs out of range";
-  if (s.msg_len < 8 || s.msg_len > 65536) return "msg_len out of range";
-  int joins = 0;
-  for (const ScenarioEvent& ev : s.events) {
-    if (ev.kind == ScenarioEvent::Kind::kNodeJoin) {
-      ++joins;  // the joiner's id is assigned at run time, `node` unused
-      continue;
-    }
-    if (ev.node < 0 || ev.node >= s.nodes) {
-      return "event node " + std::to_string(ev.node) + " out of range";
-    }
-    if (ev.cable < 0) return "negative cable index";
-    if ((ev.kind == ScenarioEvent::Kind::kNodeDrain ||
-         ev.kind == ScenarioEvent::Kind::kNodeReplace) &&
-        ev.node == 0) {
-      return "membership event cannot target node 0 (mapper home)";
+  if (msgs < 1 || msgs > 100'000) return "msgs out of range";
+  if (msg_len < 8 || msg_len > 65536) return "msg_len out of range";
+
+  // Replay the schedule as a membership timeline (same order the runner
+  // fires it: time, ties by vector position). Later events may target
+  // ids the timeline created; joins consume as-built free ports and a
+  // drain's port comes back kRecoveryAllowance after the drain starts
+  // (retire_now -> Fabric::release_port, observed worst case is the
+  // quiesce poll finishing well inside the allowance).
+  std::vector<ScenarioEvent> ordered = events;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const ScenarioEvent& a, const ScenarioEvent& b) {
+                     return a.at < b.at;
+                   });
+  bool membership = false;
+  for (const ScenarioEvent& ev : ordered) {
+    if (ev.kind == ScenarioEvent::Kind::kNodeJoin ||
+        ev.kind == ScenarioEvent::Kind::kNodeDrain ||
+        ev.kind == ScenarioEvent::Kind::kNodeReplace) {
+      membership = true;
+      break;
     }
   }
-  if (static_cast<std::size_t>(s.nodes + joins) > cap) {
-    return "schedule joins " + std::to_string(joins) +
-           " node(s) past fabric capacity " + std::to_string(cap);
-  }
-  if (joins > 0) {
+  std::size_t free = 0;
+  if (membership) {
     // The preset capacity is theoretical; what a join actually needs is a
     // free port on the *as-built* fabric (a radix-3 ring is full: every
     // switch spends 2 ports on trunks and 1 on its host). Dry-build the
@@ -234,16 +237,67 @@ std::string validate(const Scenario& s) {
     sim::Rng rng(1);
     net::Topology topo(eq, rng);
     const net::FabricBuilder fb(topo, fc);
-    if (static_cast<std::size_t>(joins) > fb.free_ports()) {
-      return "schedule joins " + std::to_string(joins) +
-             " node(s) but the as-built fabric has only " +
-             std::to_string(fb.free_ports()) + " free port(s)";
+    free = fb.free_ports();
+  }
+  int ids = nodes;                     // ids assigned so far (joins extend)
+  std::vector<bool> drained;           // by id: retirement scheduled
+  drained.assign(static_cast<std::size_t>(nodes), false);
+  std::vector<sim::Time> credits;      // sorted: drain ports coming back
+  std::size_t credited = 0;
+  for (const ScenarioEvent& ev : ordered) {
+    while (credited < credits.size() && credits[credited] <= ev.at) {
+      ++free;
+      ++credited;
+    }
+    if (ev.cable < 0) return "negative cable index";
+    switch (ev.kind) {
+      case ScenarioEvent::Kind::kNodeJoin:
+        if (free == 0) {
+          return "join at " + std::to_string(ev.at) +
+                 " ns has no free port on the as-built fabric "
+                 "(counting ports handed back by earlier drains)";
+        }
+        if (static_cast<std::size_t>(ids) + 1 > cap) {
+          return "schedule joins past fabric capacity " + std::to_string(cap);
+        }
+        --free;
+        ++ids;
+        drained.push_back(false);
+        break;
+      case ScenarioEvent::Kind::kNodeDrain:
+      case ScenarioEvent::Kind::kNodeReplace:
+        if (ev.node == 0) {
+          return "membership event cannot target node 0 (mapper home)";
+        }
+        if (ev.node < 0 || ev.node >= ids) {
+          return "event node " + std::to_string(ev.node) +
+                 " out of range (ids assigned by then: " +
+                 std::to_string(ids) + ")";
+        }
+        if (drained[static_cast<std::size_t>(ev.node)]) {
+          return std::string(ev.kind == ScenarioEvent::Kind::kNodeDrain
+                                 ? "node "
+                                 : "replace of node ") +
+                 std::to_string(ev.node) + " after it was already drained";
+        }
+        if (ev.kind == ScenarioEvent::Kind::kNodeDrain) {
+          drained[static_cast<std::size_t>(ev.node)] = true;
+          credits.push_back(ev.at + kRecoveryAllowance);
+        }
+        break;
+      default:
+        // Fault / test-only kinds. `node` is a victim id or stream index;
+        // ids joined earlier in the timeline are legitimate targets.
+        if (ev.node < 0 || ev.node >= ids) {
+          return "event node " + std::to_string(ev.node) +
+                 " out of range (ids assigned by then: " +
+                 std::to_string(ids) + ")";
+        }
+        break;
     }
   }
   return {};
 }
-
-}  // namespace
 
 // ---- roster / horizon ----
 
@@ -252,6 +306,13 @@ sim::Time Scenario::effective_horizon() const {
   sim::Time h = Scenario::kWarmup + sim::msec(10) +
                 sim::usec(150) * static_cast<std::uint64_t>(msgs) *
                     static_cast<std::uint64_t>(nodes);
+  if (send_gap > 0) {
+    // Paced streams run in parallel, gated by their own clock: the run
+    // lasts ~msgs * gap regardless of node count, plus drain slack.
+    h = std::max(h, Scenario::kWarmup +
+                        send_gap * static_cast<std::uint64_t>(msgs) +
+                        sim::sec(2));
+  }
   for (const ScenarioEvent& ev : events) {
     h = std::max(h, ev.at + ev.duration + sim::sec(1));
     if (ev.kind == ScenarioEvent::Kind::kNicHang ||
@@ -325,7 +386,7 @@ std::vector<net::NodeId> Scenario::expected_up_at_horizon() const {
 // ---- runner ----
 
 RunReport ScenarioRunner::run(const Scenario& s, const Options& opt) {
-  const std::string bad = validate(s);
+  const std::string bad = s.validate();
   if (!bad.empty()) {
     throw std::invalid_argument("invalid scenario: " + bad);
   }
@@ -344,6 +405,9 @@ RunReport ScenarioRunner::run(const Scenario& s, const Options& opt) {
   std::unique_ptr<mapper::FailoverManager> fm;
   if (!cluster.fabric().trunk_cables().empty()) {
     fm = std::make_unique<mapper::FailoverManager>(cluster);
+    // Test-only leak plant: keep retired nodes' mapper caches so the
+    // drift oracle has a real unbounded growth to catch.
+    if (s.retain_caches) fm->test_retain_retired_caches(true);
   }
 
   constexpr std::uint32_t kTokens = 24;
@@ -354,6 +418,7 @@ RunReport ScenarioRunner::run(const Scenario& s, const Options& opt) {
   StreamWorkload::Config wc;
   wc.total_msgs = s.msgs;
   wc.msg_len = s.msg_len;
+  wc.send_gap = s.send_gap;
 
   std::vector<std::unique_ptr<StreamWorkload>> wls;
   for (int i = 0; i < s.nodes; ++i) {
@@ -396,10 +461,20 @@ RunReport ScenarioRunner::run(const Scenario& s, const Options& opt) {
   // the roster event so port-open control traffic has landed; watched by
   // the oracle and mixed into the digest like the ring streams.
   int membership_streams = 0;
+  // Sender ports 4..7 on node 0, round-robin: a long soak sees dozens of
+  // roster events, far more than the card has ports, and reopening a port
+  // id would destroy a Port that earlier (finished) workloads still
+  // reference. Streams are short (8 msgs) and arrivals are many seconds
+  // apart, so a recycled port is always idle by the time it is reused.
+  std::array<gm::Port*, 4> membership_tx{};
   auto start_membership_stream = [&](net::NodeId dst) {
     const std::size_t idx = wls.size();
-    gm::Port& tx = cluster.node(0).open_port(
-        static_cast<std::uint8_t>(4 + membership_streams), {kTokens, kTokens});
+    const int slot = membership_streams % 4;
+    if (membership_tx[slot] == nullptr) {
+      membership_tx[slot] = &cluster.node(0).open_port(
+          static_cast<std::uint8_t>(4 + slot), {kTokens, kTokens});
+    }
+    gm::Port& tx = *membership_tx[slot];
     gm::Port& rx = cluster.node(dst).open_port(3, {kTokens, kTokens});
     ++membership_streams;
     StreamWorkload::Config mwc;
@@ -463,6 +538,16 @@ RunReport ScenarioRunner::run(const Scenario& s, const Options& opt) {
           }
         });
         break;
+      case ScenarioEvent::Kind::kTokenLeak:
+        cluster.eq().schedule_at(ev.at, [&wls, ev] {
+          if (static_cast<std::size_t>(ev.node) >= wls.size()) return;
+          gm::Port& tx = wls[static_cast<std::size_t>(ev.node)]->sender();
+          // Push free tokens past the allotment (kTokens) so the next
+          // token-conservation sweep trips no matter how many sends are
+          // in flight right now.
+          while (tx.send_tokens_free() <= kTokens) tx.test_inject_send_token();
+        });
+        break;
       case ScenarioEvent::Kind::kNodeJoin:
         cluster.eq().schedule_at(
             ev.at, [&cluster, &start_membership_stream] {
@@ -502,12 +587,111 @@ RunReport ScenarioRunner::run(const Scenario& s, const Options& opt) {
     }
   }
 
+  // ---- windowed invariant checking (soak mode) ----
+  // Every check_window of virtual time past kWarmup: a full invariant
+  // sweep, the drift probes, a digest snapshot (localizes divergence to a
+  // window), and a roll of the windowed histograms. None of it mutates
+  // sim state, so the digest formula is byte-identical to legacy runs.
+  const sim::Time horizon = s.effective_horizon();
+  std::uint64_t windows_checked = 0;
+  std::vector<std::uint64_t> window_digests;
+  std::function<void()> window_tick;
+  if (s.check_window > 0) {
+    sim::EventQueue& eq = cluster.eq();
+    // Drift probes: state that must stay epoch-bounded no matter how long
+    // the run. Bounds are callables because the legitimate ceiling moves
+    // with cluster size and roster churn.
+    oracle.add_drift_probe(
+        "eq-cancelled-pending",
+        [&eq] { return static_cast<std::uint64_t>(eq.cancelled_pending()); },
+        [&eq] {
+          // Compaction triggers at cancelled >= 1024 && cancelled >= live;
+          // anything far past both is a stale-entry leak.
+          return std::max<std::uint64_t>(8192, 2 * eq.pending_events() + 1024);
+        });
+    oracle.add_drift_probe(
+        "eq-pending-events",
+        [&eq] { return static_cast<std::uint64_t>(eq.pending_events()); },
+        [&cluster] {
+          // Each live node owns a bounded set of timer/link events;
+          // retired-but-simulated cards keep their L_timer chains.
+          return 4096 + 1024 * static_cast<std::uint64_t>(cluster.size());
+        });
+    oracle.add_drift_probe(
+        "windowed-histograms",
+        [&cluster] {
+          std::uint64_t worst = 0;
+          for (const auto& [name, h] : cluster.metrics().histograms()) {
+            (void)name;
+            if (h.windowed()) worst = std::max(worst, h.count());
+          }
+          return worst;
+        },
+        [&cluster] {
+          // Rolled every window; even a remap storm samples ~n^2 route
+          // lengths per remap, so sustained growth past this is a roll
+          // that stopped happening.
+          const auto n = static_cast<std::uint64_t>(cluster.size());
+          return 16 * n * n + 65536;
+        });
+    if (fm != nullptr) {
+      mapper::FailoverManager* f = fm.get();
+      oracle.add_drift_probe(
+          "mapper-attach-cache",
+          [f] {
+            return static_cast<std::uint64_t>(
+                f->mapper().tracked_attach_points());
+          },
+          [&cluster] {
+            return cluster.roster().members().size() + 8;
+          });
+      oracle.add_drift_probe(
+          "mapper-route-cache",
+          [f] {
+            return static_cast<std::uint64_t>(f->mapper().tracked_routes());
+          },
+          [&cluster] {
+            return cluster.roster().members().size() + 8;
+          });
+      oracle.add_drift_probe(
+          "fm-remap-retries",
+          [f] { return static_cast<std::uint64_t>(f->remap_retries()); },
+          [f] {
+            // Progress resets the budget; a counter past it means the
+            // give-up gate stopped working.
+            return static_cast<std::uint64_t>(
+                f->config().max_remap_retries + 1);
+          });
+      oracle.add_drift_probe(
+          "fm-scrub-strikes",
+          [f] { return static_cast<std::uint64_t>(f->scrub_strikes()); },
+          [f] {
+            return static_cast<std::uint64_t>(
+                f->config().max_scrub_strikes + 1);
+          });
+    }
+    window_tick = [&]() {
+      if (!oracle.ok()) return;  // first violation recorded; stop sweeping
+      oracle.check_now();
+      oracle.check_drift();
+      ++windows_checked;
+      window_digests.push_back(digest);
+      cluster.metrics().roll_windowed();
+      if (cluster.eq().now() < horizon) {
+        cluster.eq().schedule_after(s.check_window,
+                                    [&window_tick] { window_tick(); });
+      }
+    };
+  }
+
   // ---- run ----
   cluster.run_for(Scenario::kWarmup);
   for (auto& wl : wls) wl->start();
   oracle.attach();
-
-  const sim::Time horizon = s.effective_horizon();
+  if (s.check_window > 0) {
+    cluster.eq().schedule_after(s.check_window,
+                                [&window_tick] { window_tick(); });
+  }
 
   // The experiment is over when every stream is complete, every scheduled
   // event has fired, and no NIC is still wedged mid-recovery. Returning at
@@ -556,6 +740,7 @@ RunReport ScenarioRunner::run(const Scenario& s, const Options& opt) {
     if (quiet) break;
   }
   oracle.final_check();
+  if (s.check_window > 0) oracle.check_drift();
   oracle.detach();
 
   // ---- report ----
@@ -580,6 +765,16 @@ RunReport ScenarioRunner::run(const Scenario& s, const Options& opt) {
   }
   rep.oracle_checks = oracle.checks_run();
   rep.deliveries = deliveries;
+  rep.windows_checked = windows_checked;
+  rep.drift_checks = oracle.drift_checks_run();
+  rep.window_digests = std::move(window_digests);
+  if (!rep.oracle_ok && s.check_window > 0) {
+    rep.violation_window =
+        rep.violation_at > Scenario::kWarmup
+            ? static_cast<std::int64_t>((rep.violation_at - Scenario::kWarmup) /
+                                        s.check_window)
+            : 0;
+  }
   for (int i = 0; i < cluster.size(); ++i) {
     if (cluster.node(i).has_ftd()) {
       rep.recoveries += cluster.node(i).ftd().stats().recoveries;
@@ -587,6 +782,7 @@ RunReport ScenarioRunner::run(const Scenario& s, const Options& opt) {
   }
   rep.remaps = fm ? fm->remaps() : 0;
   rep.end_time = cluster.eq().now();
+  rep.events_executed = cluster.eq().executed();
 
   for (const StreamOutcome& so : rep.streams) {
     mix(digest, static_cast<std::uint64_t>(so.received));
@@ -614,11 +810,15 @@ std::string Scenario::to_json() const {
   out += ",\"radix\":" + std::to_string(radix);
   out += ",\"mode\":\"" + std::string(mode_name(mode)) + "\"}";
   out += ",\"workload\":{\"msgs\":" + std::to_string(msgs);
-  out += ",\"len\":" + std::to_string(msg_len) + '}';
+  out += ",\"len\":" + std::to_string(msg_len);
+  out += ",\"gap_ns\":" + std::to_string(send_gap) + '}';
   out += ",\"faults\":{\"drop\":" + fmt_double(drop);
   out += ",\"corrupt\":" + fmt_double(corrupt);
   out += ",\"misroute\":" + fmt_double(misroute) + '}';
   out += ",\"horizon_ns\":" + std::to_string(horizon);
+  out += ",\"check_window_ns\":" + std::to_string(check_window);
+  out += ",\"retain_caches\":";
+  out += retain_caches ? "true" : "false";
   out += ",\"schedule\":[";
   bool first = true;
   for (const ScenarioEvent& ev : events) {
@@ -646,6 +846,8 @@ std::string repro_json(const Scenario& s, const RunReport& r) {
   out += ",\"signature\":\"" + r.failure_signature() + '"';
   out += ",\"digest\":" + std::to_string(r.digest);
   out += ",\"violation_at_ns\":" + std::to_string(r.violation_at);
+  out += ",\"violation_window\":" + std::to_string(r.violation_window);
+  out += ",\"windows_checked\":" + std::to_string(r.windows_checked);
   out += "}}";
   return out;
 }
@@ -924,6 +1126,7 @@ std::optional<Scenario> Scenario::from_json(const std::string& text,
   if (const JsonValue* wl = root->find("workload")) {
     s.msgs = static_cast<int>(u64_field(*wl, "msgs", 25));
     s.msg_len = static_cast<std::uint32_t>(u64_field(*wl, "len", 1800));
+    s.send_gap = u64_field(*wl, "gap_ns", 0);
   }
   if (const JsonValue* f = root->find("faults")) {
     s.drop = double_field(*f, "drop");
@@ -931,6 +1134,10 @@ std::optional<Scenario> Scenario::from_json(const std::string& text,
     s.misroute = double_field(*f, "misroute");
   }
   s.horizon = u64_field(*root, "horizon_ns", 0);
+  s.check_window = u64_field(*root, "check_window_ns", 0);
+  if (const JsonValue* rc = root->find("retain_caches")) {
+    s.retain_caches = rc->type == JsonValue::Type::kBool && rc->b;
+  }
   if (const JsonValue* sched = root->find("schedule")) {
     if (sched->type != JsonValue::Type::kArray) {
       set_err("schedule is not an array");
@@ -955,7 +1162,7 @@ std::optional<Scenario> Scenario::from_json(const std::string& text,
       s.events.push_back(ev);
     }
   }
-  const std::string bad = validate(s);
+  const std::string bad = s.validate();
   if (!bad.empty()) {
     set_err(bad);
     return std::nullopt;

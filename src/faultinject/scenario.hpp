@@ -52,6 +52,12 @@ struct ScenarioEvent {
                        // (the dead card takes them with it) and a
                        // verification stream proves the spare serves
                        // traffic
+    kTokenLeak = 9,    // test-only: conjure send tokens on stream
+                       // `node`'s sender port past its allotment (breaks
+                       // token-conservation on purpose; never generated
+                       // randomly — exists to prove windowed oracle
+                       // checks attribute a mid-run violation to the
+                       // window it happened in)
   };
 
   sim::Time at = 0;  // absolute virtual time (workload starts at kWarmup)
@@ -86,12 +92,26 @@ struct Scenario {
   // ---- workload: node i streams msgs x msg_len to node (i+1) % nodes ----
   int msgs = 25;
   std::uint32_t msg_len = 1800;
+  /// Minimum virtual time between message posts per stream. 0 = legacy
+  /// max-rate (post as fast as tokens allow). Soak runs pace their
+  /// streams so the workload spans hours instead of finishing in ms.
+  sim::Time send_gap = 0;
   // ---- baseline link-error rates for the whole run ----
   double drop = 0.0;
   double corrupt = 0.0;
   double misroute = 0.0;
   /// 0 = derive from schedule (hangs cost ~4 s of recovery each, ...).
   sim::Time horizon = 0;
+  /// Windowed invariant checking: when > 0 the runner sweeps every
+  /// Oracle invariant (plus the drift probes) at each multiple of this
+  /// interval past kWarmup, snapshotting the incremental digest per
+  /// window so a violation localizes to the window it happened in.
+  /// 0 = legacy behavior (delivery-driven checks + final_check only).
+  sim::Time check_window = 0;
+  /// Test-only leak plant: disable the mapper's retired-node cache
+  /// eviction so `last_attach_` / `last_route_` grow with every retire.
+  /// Exists to prove the drift oracle catches real unbounded growth.
+  bool retain_caches = false;
   std::vector<ScenarioEvent> events;
 
   friend bool operator==(const Scenario&, const Scenario&) = default;
@@ -105,6 +125,17 @@ struct Scenario {
   /// derived from workload size and the schedule (each hang/flip adds
   /// kRecoveryAllowance).
   [[nodiscard]] sim::Time effective_horizon() const;
+
+  /// Structural validity: empty string when the scenario is runnable,
+  /// else a description of the first problem. Replays the schedule as a
+  /// membership timeline in event-time order, so events may target nodes
+  /// joined earlier in the schedule, double-drains and drains/replaces of
+  /// node 0 are rejected, and every join needs a free switch port on the
+  /// as-built fabric *at its fire time* — a drain hands its port back
+  /// kRecoveryAllowance after it starts (matching the runner's retire +
+  /// Fabric::release_port), so sustained join/drain churn validates even
+  /// when the fabric only ever has one port spare.
+  [[nodiscard]] std::string validate() const;
 
   /// Nodes expected to be up (recovered, mappable) at effective_horizon(),
   /// replayed as a membership *timeline* in event-time order:
@@ -163,7 +194,18 @@ struct RunReport {
   std::uint64_t recoveries = 0;   // FTD recoveries, cluster-wide
   std::uint64_t remaps = 0;       // failover remaps (multi-switch only)
   sim::Time end_time = 0;
+  std::uint64_t events_executed = 0;  // sim events fired over the run
   std::vector<StreamOutcome> streams;
+  // ---- windowed-mode extras (check_window > 0; zero/empty otherwise) ----
+  std::uint64_t windows_checked = 0;  // periodic sweeps that ran
+  std::uint64_t drift_checks = 0;     // Oracle::drift_checks_run()
+  /// Window index of the first violation: (violation_at - kWarmup) /
+  /// check_window. -1 when the run passed or ran without windowing.
+  std::int64_t violation_window = -1;
+  /// Incremental digest snapshot taken at each window boundary. The
+  /// prefix up to any window is a pure function of the run prefix, so
+  /// two runs diverge exactly at the first window whose snapshots differ.
+  std::vector<std::uint64_t> window_digests;
 
   [[nodiscard]] bool failed() const { return !delivered || !oracle_ok; }
   /// Stable failure identity for the shrinker: the violated invariant, or

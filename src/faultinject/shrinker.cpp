@@ -1,27 +1,35 @@
 #include "faultinject/shrinker.hpp"
 
 #include <algorithm>
+#include <functional>
 
 namespace myri::fi {
 
 namespace {
 
 /// Rewrite a scenario for a smaller node count: victim/stream indices are
-/// remapped into range; the fabric preset survives if it can still carry
-/// the new count (capacity() gate in the caller).
+/// remapped into range. An index at or past the old node count named a
+/// node joined by the schedule — keep it pointing at the same join
+/// ordinal relative to the new count so the membership timeline still
+/// validates. (Scenario::validate() gates the result in the caller.)
 Scenario with_nodes(const Scenario& s, int nodes) {
   Scenario out = s;
   out.nodes = nodes;
   for (ScenarioEvent& ev : out.events) {
-    ev.node = ev.node % nodes;
+    if (ev.kind == ScenarioEvent::Kind::kNodeJoin) continue;
+    if (ev.node >= s.nodes) {
+      ev.node = nodes + (ev.node - s.nodes);
+    } else {
+      ev.node = ev.node % nodes;
+    }
   }
   return out;
 }
 
-bool satisfiable(const Scenario& s) {
-  const std::size_t cap =
-      net::FabricBuilder::capacity({s.fabric, s.nodes, s.radix});
-  return s.nodes >= 2 && static_cast<std::size_t>(s.nodes) <= cap;
+/// The check-window a schedule entry belongs to (windowed runs only).
+std::uint64_t window_of(const ScenarioEvent& ev, sim::Time window) {
+  if (ev.at <= Scenario::kWarmup) return 0;
+  return (ev.at - Scenario::kWarmup) / window;
 }
 
 }  // namespace
@@ -38,7 +46,10 @@ ShrinkResult Shrinker::shrink(const Scenario& failing,
   // removing an irrelevant event legitimately changes timings, but the
   // violated invariant must not drift.
   auto try_candidate = [&](const Scenario& cand) -> bool {
-    if (!satisfiable(cand)) return false;
+    // Full structural validation, not just capacity: a candidate with a
+    // broken membership timeline (drain of a dropped join, no free port
+    // at a join's fire time) would make ScenarioRunner::run throw.
+    if (!cand.validate().empty()) return false;
     if (res.attempts >= cfg.max_attempts) return false;
     ++res.attempts;
     const RunReport rep = ScenarioRunner::run(cand, cfg.run);
@@ -49,9 +60,52 @@ ShrinkResult Shrinker::shrink(const Scenario& failing,
     return true;
   };
 
+  // 0. Window truncation (soak failures): a windowed violation localizes
+  //    the failure in time — everything after the violating window is
+  //    aftershock. Cutting the schedule and the horizon there first turns
+  //    a multi-virtual-hour soak into a sub-minute repro, and every later
+  //    shrink pass re-runs the short scenario instead of the soak.
+  if (failing.check_window > 0 && original.violation_at > 0) {
+    Scenario cand = res.minimal;
+    const sim::Time cut = original.violation_at + failing.check_window;
+    std::vector<ScenarioEvent> kept;
+    for (const ScenarioEvent& ev : cand.events) {
+      if (ev.at <= cut) kept.push_back(ev);
+    }
+    cand.events = std::move(kept);
+    cand.horizon = cut + 2 * failing.check_window;
+    try_candidate(cand);
+  }
+
   bool improved = true;
   while (improved && res.attempts < cfg.max_attempts) {
     improved = false;
+
+    // 0b. Windowed runs: drop whole check-windows of events at once,
+    //     newest window first — ddmin at window granularity converges far
+    //     faster on a long soak schedule than event-at-a-time, and the
+    //     per-event pass below still polishes whatever survives.
+    if (res.minimal.check_window > 0) {
+      std::vector<std::uint64_t> groups;
+      for (const ScenarioEvent& ev : res.minimal.events) {
+        const std::uint64_t g = window_of(ev, res.minimal.check_window);
+        if (std::find(groups.begin(), groups.end(), g) == groups.end()) {
+          groups.push_back(g);
+        }
+      }
+      std::sort(groups.begin(), groups.end(), std::greater<>());
+      for (const std::uint64_t g : groups) {
+        if (res.minimal.events.size() <= 1) break;
+        Scenario cand = res.minimal;
+        std::vector<ScenarioEvent> keep;
+        for (const ScenarioEvent& ev : cand.events) {
+          if (window_of(ev, cand.check_window) != g) keep.push_back(ev);
+        }
+        if (keep.size() == cand.events.size()) continue;
+        cand.events = std::move(keep);
+        if (try_candidate(cand)) improved = true;
+      }
+    }
 
     // 1. Drop events, last first (later events are most often cleanup /
     //    aftershock; removing them first keeps indices stable).
@@ -87,6 +141,27 @@ ShrinkResult Shrinker::shrink(const Scenario& failing,
       Scenario cand = res.minimal;
       cand.msgs = std::max(5, cand.msgs / 2);
       if (try_candidate(cand)) improved = true;
+    }
+
+    // 5. Shift the surviving schedule to just after warmup. After
+    //    truncation and event drops, a temporally-local failure (a leak
+    //    planted two virtual hours in) sits at the end of an otherwise
+    //    idle run; moving the events — and the explicit horizon — earlier
+    //    is what turns it into a sub-minute repro.
+    if (!res.minimal.events.empty() && res.minimal.horizon > 0) {
+      sim::Time first = res.minimal.events.front().at;
+      for (const ScenarioEvent& ev : res.minimal.events) {
+        first = std::min(first, ev.at);
+      }
+      const sim::Time base = Scenario::kWarmup + sim::msec(10);
+      if (first > base) {
+        const sim::Time delta = first - base;
+        Scenario cand = res.minimal;
+        for (ScenarioEvent& ev : cand.events) ev.at -= delta;
+        cand.horizon = cand.horizon > delta + base ? cand.horizon - delta
+                                                   : base + sim::sec(1);
+        if (try_candidate(cand)) improved = true;
+      }
     }
   }
   return res;

@@ -1,0 +1,77 @@
+// Long-horizon soak profiles: continuous background fault arrival.
+//
+// A soak is not a new execution engine — it is a Scenario generator. The
+// profile describes per-kind mean inter-arrival times (NIC hangs, trunk
+// cable outages, SRAM flips, link-loss windows, join/drain churn, node
+// replacement) and make_soak_scenario() expands them, seed-
+// deterministically, into one long Scenario: paced ring streams that span
+// the whole run, windowed invariant checking (Scenario::check_window) so
+// every fi::Oracle invariant plus the drift probes run each window
+// instead of only at quiesce, and an explicit horizon.
+//
+// Because the output is an ordinary Scenario, everything downstream works
+// unchanged: the runner executes it, a violation localizes to its check
+// window, the Shrinker's window-granular passes cut a multi-virtual-hour
+// failure down to a sub-minute repro, and the repro JSON replays
+// bit-identically through scenario_replay.
+//
+// The generator keeps its schedules survivable by construction:
+//   - hang and flip victims are disjoint (odd vs even ring ids) and never
+//     node 0 (mapper home) or the replace victim,
+//   - at most one trunk cable is down at any instant,
+//   - loss windows never overlap,
+//   - churn runs one joiner at a time: join, drain it churn/2 later, and
+//     the next join waits for the drained port to come back (the 64-node
+//     radix-10 fat-tree has exactly one spare port — recycling it is what
+//     makes sustained churn possible at all),
+//   - replacement always hits the same ring victim (its two ring streams
+//     are abandoned on the first swap; later swaps are idempotent),
+//   - all fault arrival stops with enough runway for the last recovery to
+//     finish before the horizon.
+#pragma once
+
+#include "faultinject/scenario.hpp"
+
+namespace myri::fi {
+
+/// Knobs for one soak run. A rate of 0 disables that fault kind.
+/// All `*_every` values are mean inter-arrival times; actual arrivals are
+/// jittered as every/2 + uniform(every) off a deterministic sim::Rng.
+struct SoakProfile {
+  std::uint64_t seed = 1;
+  // ---- topology ----
+  int nodes = 64;
+  net::FabricPreset fabric = net::FabricPreset::kFatTree;
+  std::uint8_t radix = 10;
+  // ---- time ----
+  sim::Time duration = sim::sec(7200);   // virtual soak length
+  sim::Time window = sim::msec(500);     // invariant check window
+  // ---- workload: paced so streams span the soak ----
+  sim::Time send_gap = sim::msec(250);
+  std::uint32_t msg_len = 1800;
+  // ---- baseline link noise ----
+  double drop = 0.005;
+  double corrupt = 0.002;
+  // ---- fault arrival rates ----
+  sim::Time hang_every = sim::sec(90);
+  sim::Time cable_every = sim::sec(120);
+  sim::Time cable_outage = sim::sec(10);
+  sim::Time flip_every = sim::sec(150);
+  sim::Time loss_every = sim::sec(60);
+  sim::Time loss_len = sim::msec(50);
+  double loss_drop = 0.10;
+  double loss_corrupt = 0.05;
+  /// Join/drain cycle period: a join fires, the joiner drains churn/2
+  /// later, and the next join reuses the freed port. Values under ~10 s
+  /// are clamped up so the drained port is credited back in time.
+  sim::Time churn_every = sim::sec(60);
+  sim::Time replace_every = sim::sec(300);
+  // ---- test-only leak plant (satellite: prove the drift oracle) ----
+  bool retain_caches = false;
+};
+
+/// Expand a profile into a runnable Scenario. Deterministic: equal
+/// profiles produce equal scenarios (and therefore equal run digests).
+[[nodiscard]] Scenario make_soak_scenario(const SoakProfile& p);
+
+}  // namespace myri::fi

@@ -45,6 +45,15 @@ void StreamWorkload::fill(const gm::Buffer& buf, int msg) {
 
 void StreamWorkload::pump_sends() {
   while (!abandoned_ && next_msg_ < cfg_.total_msgs) {
+    // Paced stream: wait out the gap since the last post. The pace timer
+    // is separate from the 1 ms backoff retry so the cadence stays exact.
+    if (cfg_.send_gap > 0) {
+      const sim::Time now = sender_.node().event_queue().now();
+      if (now < next_send_at_) {
+        arm_pace(next_send_at_ - now);
+        return;
+      }
+    }
     // Find a free slot.
     int slot = -1;
     for (std::size_t i = 0; i < slot_busy_.size(); ++i) {
@@ -88,7 +97,19 @@ void StreamWorkload::pump_sends() {
     if (!st) return;  // out of send tokens; resume on a callback
     slot_busy_[static_cast<std::size_t>(slot)] = true;
     ++next_msg_;
+    if (cfg_.send_gap > 0) {
+      next_send_at_ = sender_.node().event_queue().now() + cfg_.send_gap;
+    }
   }
+}
+
+void StreamWorkload::arm_pace(sim::Time delay) {
+  if (pace_armed_) return;
+  pace_armed_ = true;
+  sender_.node().event_queue().schedule_after(delay, [this] {
+    pace_armed_ = false;
+    pump_sends();
+  });
 }
 
 void StreamWorkload::provide_recv(const gm::Buffer& buf) {

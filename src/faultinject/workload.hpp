@@ -25,6 +25,11 @@ class StreamWorkload {
     std::uint8_t priority = 0;
     int recv_buffers = 16;
     int max_in_flight = 8;
+    /// Minimum virtual time between message posts. 0 = pump at max rate
+    /// (the classic short-schedule behavior). Soak mode paces streams so
+    /// hours of virtual time cost background-traffic events, not a
+    /// saturated fabric's.
+    sim::Time send_gap = 0;
   };
 
   StreamWorkload(gm::Port& sender, gm::Port& receiver, Config cfg);
@@ -77,6 +82,7 @@ class StreamWorkload {
   void verify(const gm::RecvInfo& info);
   void provide_recv(const gm::Buffer& buf);
   void arm_retry();
+  void arm_pace(sim::Time delay);
 
   gm::Port& sender_;
   gm::Port& receiver_;
@@ -94,6 +100,8 @@ class StreamWorkload {
   bool started_ = false;
   bool abandoned_ = false;
   bool retry_armed_ = false;
+  bool pace_armed_ = false;
+  sim::Time next_send_at_ = 0;  // send_gap pacing cursor
   std::function<void(int)> on_delivery_;
   std::vector<gm::Buffer> recv_retry_;  // provides refused mid-recovery
 };

@@ -101,7 +101,10 @@ net::NodeId Cluster::add_node() {
   const auto id = static_cast<net::NodeId>(nodes_.size());
   nodes_.push_back(build_node(id, "node" + std::to_string(id)));
   Node& n = *nodes_.back();
-  n.attach(*topo_, at->sw, at->port);
+  // reattach, not attach: the port may be recycled from a retired node
+  // (release_port in retire_now) whose endpoint is still plugged in, down.
+  // On a virgin port reattach degrades to a plain attach.
+  n.reattach(*topo_, at->sw, at->port);
   topo_->set_endpoint_faults(at->sw, at->port, cfg_.faults);
   n.bind_metrics(metrics_);
   if (cfg_.install_routes) install_pristine_routes(id);
@@ -154,6 +157,11 @@ void Cluster::retire_now(net::NodeId x,
                          std::function<void(net::NodeId)> on_retired) {
   const net::Placement& at = fabric_->placements()[x];
   topo_->set_endpoint_down(at.sw, at.port, true);
+  // Give the switch port back: sustained join/drain churn (soak mode)
+  // would otherwise exhaust the as-built free ports after a handful of
+  // hot-adds. The retired card stays plugged into its (down) links until
+  // a later add_node re-points the port.
+  fabric_->release_port(x);
   roster_.retire(x, eq_.now());
   if (on_retired) on_retired(x);
 }

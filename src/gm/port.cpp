@@ -71,6 +71,17 @@ Status Port::submit_send(const Buffer& buf, std::uint32_t len,
     return Status::kInvalidArg;
   }
   if (recovering_) return Status::kRecovering;
+  // The card came back from a reload but this port's FAULT_DETECTED has
+  // not been dispatched yet (the FTD is still restoring tables), so the
+  // on-card port is closed and a post would be refused after the host
+  // already allocated its FTGM sequence block — a hole in the stream's
+  // sequence space that no retransmission can ever fill. Back off like
+  // any other recovery window. Posts while the card is hung or unloaded
+  // are unaffected: those land in the backup store and replay intact.
+  if (ftgm() && node_.mcp().loaded() && !node_.mcp().hung() &&
+      !node_.mcp().port_open(id_)) {
+    return Status::kRecovering;
+  }
   // A remap declared this node's installed routes stale and the fresh
   // epoch has not fully landed yet: refuse instead of launching onto a
   // route that may cross a dead trunk (callers back off and retry).

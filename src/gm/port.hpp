@@ -186,6 +186,15 @@ class Port {
     return queue_.size();
   }
 
+  /// Test-only fault hook: conjure one send token out of thin air. Exists
+  /// to prove the chaos oracle's token-conservation invariant fires on a
+  /// real leak (fi::ScenarioEvent::Kind::kTokenLeak) — never called by
+  /// production code, never generated in random schedules.
+  void test_inject_send_token() noexcept {
+    ++send_tokens_free_;
+    sync_token_gauges();
+  }
+
   // ---- host receive queue (used by the MCP glue and the FTD) ----
   void push_event(const mcp::EventRecord& ev);
 

@@ -25,6 +25,11 @@ FailoverManager::FailoverManager(gm::Cluster& cluster, Config cfg)
   remaps_failed_ = &reg.counter("fabric.failover.failed_remaps");
   remap_ns_ = &reg.histogram("fabric.failover.remap_ns");
   route_len_ = &reg.histogram("fabric.route_len_hops", route_len_bounds());
+  // Snapshot semantics: holds only the current epoch's routes (reset on
+  // every remap by record_route_lengths). Marked windowed so generic
+  // window rollers (Registry::roll_windowed, driven by soak mode) and the
+  // drift oracle's bounded-accumulation probe know it never accumulates.
+  route_len_->set_windowed();
   mapper_.bind_metrics(reg);
   cluster_.topo().set_cable_listener(
       [this](net::Topology::CableId id, bool down) {
@@ -250,7 +255,10 @@ bool FailoverManager::settled() const {
 void FailoverManager::record_route_lengths() {
   // Snapshot of the CURRENT epoch's routes: re-observing every pair on
   // every remap would skew the percentiles toward the most-remapped
-  // topology (and count pairs, not routes, across the run).
+  // topology (and count pairs, not routes, across the run). The reset is
+  // this histogram's window roll (it is marked windowed at registration);
+  // soak mode additionally rolls all windowed histograms per check
+  // window via Registry::roll_windowed().
   route_len_->reset();
   for (const net::NodeId a : mapper_.interfaces()) {
     for (const auto& [b, route] : mapper_.routes_from_interface(a)) {

@@ -122,6 +122,22 @@ class FailoverManager {
   }
   /// Run one scrub pass immediately (tests / out-of-band verification).
   void scrub_now() { mapper_.scrub(); }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  /// Current retry-budget positions. Both are capped by design
+  /// (Config::max_remap_retries / max_scrub_strikes, reset on progress);
+  /// the soak drift oracle treats a counter wandering past its cap as a
+  /// budget-accounting bug.
+  [[nodiscard]] std::uint32_t remap_retries() const noexcept {
+    return remap_retries_;
+  }
+  [[nodiscard]] std::uint32_t scrub_strikes() const noexcept {
+    return scrub_strikes_;
+  }
+  /// Test-only passthrough of Mapper::set_retain_retired_caches (the
+  /// planted cache leak the soak drift oracle must catch).
+  void test_retain_retired_caches(bool retain) noexcept {
+    mapper_.set_retain_retired_caches(retain);
+  }
   /// Forward kMapper tracing to the owned mapper.
   void set_trace(sim::Trace* t) { mapper_.set_trace(t); }
 

@@ -657,8 +657,13 @@ void Mapper::note_attach(net::NodeId x, std::uint32_t sw_key,
 void Mapper::retire_node(net::NodeId x) {
   retired_.insert(x);
   roster_.erase(x);
-  last_route_.erase(x);
-  last_attach_.erase(x);
+  if (!retain_retired_caches_) {
+    // The eviction that bounds the cross-epoch caches across churn; the
+    // test-only retain flag plants the leak the soak drift oracle must
+    // catch (see Mapper::set_retain_retired_caches).
+    last_route_.erase(x);
+    last_attach_.erase(x);
+  }
   home_route_.erase(x);
   converged_.erase(x);
   table_.erase(x);

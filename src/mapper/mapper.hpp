@@ -167,6 +167,19 @@ class Mapper {
   [[nodiscard]] std::size_t tracked_attach_points() const {
     return last_attach_.size();
   }
+  /// Last-known routes remembered across epochs (bounded by retirement);
+  /// with tracked_attach_points() these are the soak drift oracle's
+  /// cache-size probes.
+  [[nodiscard]] std::size_t tracked_routes() const {
+    return last_route_.size();
+  }
+  /// Test-only leak plant: stop retire_node() from evicting the
+  /// cross-epoch caches, so join/drain churn grows last_route_ and
+  /// last_attach_ without bound. Exists to prove the soak drift oracle
+  /// catches a real eviction regression; never set by production code.
+  void set_retain_retired_caches(bool retain) noexcept {
+    retain_retired_caches_ = retain;
+  }
   /// True when every expected-roster node is present in the current map
   /// (vacuously true with no roster set).
   [[nodiscard]] bool roster_complete() const;
@@ -274,6 +287,7 @@ class Mapper {
   /// (guards against a discovery that scouted the node before its cable
   /// was unplugged).
   std::set<net::NodeId> retired_;
+  bool retain_retired_caches_ = false;  // test-only leak plant
   std::map<net::NodeId, Distribution> dist_;
   std::set<net::NodeId> converged_;
   std::uint64_t dist_gen_ = 0;

@@ -559,6 +559,25 @@ void Mcp::on_nack(const net::Packet& pkt) {
     }
     s.base = s.cursor = s.high_water = expected;
     s.next_seq = q;
+  } else if (expected < s.outstanding.front().seq_first) {
+    // The peer expects a sequence below everything we still hold. A
+    // same-instance FTGM receiver can never ask this: its reload restores
+    // the ack table, so it re-expects at most the oldest unacked seq. The
+    // acks that advanced us past `expected` therefore came from a previous
+    // card at that address — the node was replaced and the spare's stream
+    // state is pristine. Renumber the outstanding tail down to the spare's
+    // expectation: none of these messages were accepted by the new card,
+    // so this is first delivery to it, not the naive-reload duplicate path
+    // the FTGM no-resync rule exists to prevent.
+    std::uint32_t q = expected;
+    for (auto& m : s.outstanding) {
+      const std::uint32_t n = m.seq_last - m.seq_first + 1;
+      m.seq_first = q;
+      m.seq_last = q + n - 1;
+      q += n;
+    }
+    s.base = s.cursor = s.high_water = expected;
+    s.next_seq = q;
   } else {
     // Go-Back-N rewind. After an FTGM receiver recovery the expected
     // sequence may regress below our base: the data is still available

@@ -146,6 +146,15 @@ class Histogram {
     max_ = 0;
   }
 
+  /// Windowed mode: this histogram holds a bounded window of samples
+  /// (its owner resets it per round, and/or Registry::roll_windowed()
+  /// resets it per soak check window) instead of accumulating for the
+  /// whole run. Long-run percentile reads stay fresh, and the soak drift
+  /// oracle can bound the live sample count — a windowed histogram whose
+  /// count keeps climbing is a missing roll, which is a leak.
+  void set_windowed(bool windowed = true) noexcept { windowed_ = windowed; }
+  [[nodiscard]] bool windowed() const noexcept { return windowed_; }
+
   /// Accumulate another histogram (same bounds: bucket-exact; different
   /// bounds: scalars only, buckets are left untouched).
   void merge(const Histogram& o) noexcept {
@@ -164,6 +173,7 @@ class Histogram {
  private:
   std::vector<std::uint64_t> bounds_;
   std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 (overflow last)
+  bool windowed_ = false;
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
   std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
@@ -200,6 +210,24 @@ class Registry {
       const std::string& name) const {
     const auto it = histograms_.find(name);
     return it == histograms_.end() ? nullptr : &it->second;
+  }
+  /// Every registered histogram, by name (drift probes iterate these).
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms()
+      const noexcept {
+    return histograms_;
+  }
+
+  /// Reset every histogram marked windowed (see Histogram::set_windowed).
+  /// Soak mode calls this once per check window so windowed instruments
+  /// hold at most one window of samples. Returns how many were rolled.
+  std::size_t roll_windowed() {
+    std::size_t rolled = 0;
+    for (auto& [name, h] : histograms_) {
+      if (!h.windowed()) continue;
+      h.reset();
+      ++rolled;
+    }
+    return rolled;
   }
 
   /// Accumulate every instrument of `o` into this registry (counters add,

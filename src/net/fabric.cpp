@@ -249,8 +249,19 @@ std::vector<std::vector<bool>> FabricBuilder::port_usage() const {
   // placements_ store topology switch ids; map back to local indices.
   std::vector<std::size_t> local(sw_ids_.size());
   for (std::size_t s = 0; s < sw_ids_.size(); ++s) local[sw_ids_[s]] = s;
-  for (const Placement& p : placements_) used[local[p.sw]][p.port] = true;
+  for (std::size_t i = 0; i < placements_.size(); ++i) {
+    if (i < released_.size() && released_[i]) continue;  // retired: reusable
+    used[local[placements_[i].sw]][placements_[i].port] = true;
+  }
   return used;
+}
+
+void FabricBuilder::release_port(NodeId id) {
+  if (id >= placements_.size()) return;
+  if (released_.size() < placements_.size()) {
+    released_.resize(placements_.size(), false);
+  }
+  released_[id] = true;
 }
 
 std::optional<Placement> FabricBuilder::reserve_port() {

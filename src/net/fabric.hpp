@@ -97,6 +97,14 @@ class FabricBuilder {
   /// Ports reserve_port() could still hand out on the as-built switches.
   [[nodiscard]] std::size_t free_ports() const;
 
+  /// Release the switch port behind placement `id` (a retired endpoint):
+  /// reserve_port() may hand the same (switch, port) out again for a later
+  /// hot-add, so sustained join/drain churn is not bounded by the as-built
+  /// free-port count. The placement entry itself is kept — node ids stay
+  /// stable and route()/routes_from() still index by id. No-op for ids out
+  /// of range or already released.
+  void release_port(NodeId id);
+
  private:
   struct Edge {
     std::uint16_t to;       // local switch index
@@ -116,6 +124,7 @@ class FabricBuilder {
   Topology& topo_;
   FabricConfig cfg_;
   std::vector<Placement> placements_;
+  std::vector<bool> released_;  // by node id: port given back by a retire
   std::vector<Topology::CableId> trunks_;
   std::vector<std::uint16_t> sw_ids_;       // local index -> topology id
   std::vector<std::vector<Edge>> adj_;      // by local switch index

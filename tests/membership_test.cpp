@@ -322,6 +322,40 @@ TEST(MembershipScenario, MembershipKindsRoundTripThroughJson) {
   EXPECT_EQ(*back, s);
 }
 
+TEST(Membership, SustainedChurnRecyclesPortsAndBoundsMapperCaches) {
+  // 100 join/drain cycles on a ring that only has two spare ports: from
+  // cycle three on, every join reuses a port an earlier retirement handed
+  // back (Fabric::release_port), and the mapper's cross-epoch caches must
+  // stay bounded by live membership — the exact leak the soak drift
+  // oracle bounds, pinned here as a plain regression test.
+  gm::Cluster cluster(ring4(mcp::McpMode::kGm, 5));
+  mapper::FailoverManager fm(cluster);
+  bring_up(cluster, fm);
+
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    const net::NodeId id = cluster.add_node();
+    EXPECT_EQ(id, static_cast<net::NodeId>(4 + cycle));
+    cluster.run_for(sim::msec(30));
+    bool retired = false;
+    cluster.drain_node(id, sim::msec(2),
+                       [&](net::NodeId x) { retired = x == id; });
+    cluster.run_for(sim::msec(50));
+    ASSERT_TRUE(retired) << "cycle " << cycle;
+    ASSERT_FALSE(cluster.roster().is_member(id)) << "cycle " << cycle;
+  }
+
+  // Back to the four seed members after 100 transient joiners...
+  EXPECT_EQ(cluster.roster().members().size(), 4u);
+  EXPECT_EQ(cluster.metrics().counter("mapper.joins").value(), 100u);
+  EXPECT_EQ(cluster.metrics().counter("mapper.drains").value(), 100u);
+  // ...and the mapper forgot every one of them: attach-point and route
+  // caches track live members, not churn history.
+  EXPECT_LE(fm.mapper().tracked_attach_points(), 4u);
+  EXPECT_LE(fm.mapper().tracked_routes(), 4u);
+  EXPECT_EQ(fm.mapper().table().count(103), 0u);
+  EXPECT_TRUE(fm.fully_converged());
+}
+
 TEST(MembershipScenario, ValidationRejectsImpossibleSchedules) {
   fi::Scenario s;
   s.nodes = 4;

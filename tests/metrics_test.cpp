@@ -70,6 +70,37 @@ TEST(Registry, HistogramPercentileIsBucketQuantizedNearestRank) {
   EXPECT_EQ(reg.histogram("empty").percentile(99), 0u);
 }
 
+TEST(Registry, RollWindowedResetsOnlyWindowedHistograms) {
+  metrics::Registry reg;
+  metrics::Histogram& win = reg.histogram("win", {10, 100});
+  metrics::Histogram& acc = reg.histogram("acc", {10, 100});
+  win.set_windowed();
+  EXPECT_TRUE(win.windowed());
+  EXPECT_FALSE(acc.windowed());
+  win.add(5);
+  win.add(50);
+  acc.add(7);
+
+  EXPECT_EQ(reg.roll_windowed(), 1u);  // only "win" rolls
+  EXPECT_EQ(win.count(), 0u);
+  EXPECT_EQ(win.sum(), 0u);
+  EXPECT_EQ(win.max(), 0u);
+  ASSERT_EQ(win.bucket_counts().size(), 3u);
+  EXPECT_EQ(win.bucket_counts()[0], 0u);
+  EXPECT_EQ(acc.count(), 1u);  // accumulating histogram untouched
+  EXPECT_EQ(acc.sum(), 7u);
+
+  // The window starts fresh: new samples land in an empty histogram, so
+  // long-run percentile reads reflect the current window only.
+  win.add(200);
+  EXPECT_EQ(win.count(), 1u);
+  EXPECT_EQ(win.percentile(50), 200u);
+  // Rolling is idempotent per window and keeps the windowed flag.
+  EXPECT_EQ(reg.roll_windowed(), 1u);
+  EXPECT_TRUE(win.windowed());
+  EXPECT_EQ(win.count(), 0u);
+}
+
 TEST(Registry, MergeAccumulatesAcrossRegistries) {
   metrics::Registry a;
   metrics::Registry b;

@@ -154,9 +154,12 @@ TEST(ScenarioJson, RoundTripsEveryEventKind) {
   s.drop = 0.07;
   s.corrupt = 0.03;
   s.horizon = sim::sec(9);
+  s.send_gap = sim::msec(3);
+  s.check_window = sim::msec(500);
+  s.retain_caches = true;
   using K = fi::ScenarioEvent::Kind;
   for (K k : {K::kNicHang, K::kCableDown, K::kCableUp, K::kFaultWindow,
-              K::kSramFlip, K::kDoubleDeliver}) {
+              K::kSramFlip, K::kDoubleDeliver, K::kTokenLeak}) {
     fi::ScenarioEvent ev;
     ev.kind = k;
     ev.at = fi::Scenario::kWarmup + sim::usec(17);
@@ -193,6 +196,94 @@ TEST(ScenarioJson, U64SeedSurvivesUnchanged) {
   const auto back = fi::Scenario::from_json(s.to_json());
   ASSERT_TRUE(back.has_value());
   EXPECT_EQ(back->seed, s.seed);
+}
+
+// ---- structural validation ----------------------------------------------
+
+TEST(ScenarioValidate, AcceptsDrainOfAScheduledJoin) {
+  fi::Scenario s;
+  s.nodes = 6;  // radix-8 fat-tree: leaf 1 keeps two host ports free
+  s.fabric = net::FabricPreset::kFatTree;
+  s.radix = 8;
+  fi::ScenarioEvent join;
+  join.kind = fi::ScenarioEvent::Kind::kNodeJoin;
+  join.at = fi::Scenario::kWarmup + sim::msec(5);
+  fi::ScenarioEvent drain;
+  drain.kind = fi::ScenarioEvent::Kind::kNodeDrain;
+  drain.node = 6;  // the id the join above will mint
+  drain.at = fi::Scenario::kWarmup + sim::msec(40);
+  s.events = {join, drain};
+  EXPECT_TRUE(s.validate().empty()) << s.validate();
+}
+
+TEST(ScenarioValidate, RejectsBrokenMembershipTimelines) {
+  fi::Scenario base;
+  base.nodes = 4;
+  base.fabric = net::FabricPreset::kFatTree;
+  base.radix = 8;
+  using K = fi::ScenarioEvent::Kind;
+
+  {  // drain of an id no join ever mints
+    fi::Scenario s = base;
+    fi::ScenarioEvent drain;
+    drain.kind = K::kNodeDrain;
+    drain.node = 9;
+    drain.at = fi::Scenario::kWarmup + sim::msec(5);
+    s.events = {drain};
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {  // double drain of the same node
+    fi::Scenario s = base;
+    fi::ScenarioEvent d1;
+    d1.kind = K::kNodeDrain;
+    d1.node = 2;
+    d1.at = fi::Scenario::kWarmup + sim::msec(5);
+    fi::ScenarioEvent d2 = d1;
+    d2.at = fi::Scenario::kWarmup + sim::msec(50);
+    s.events = {d1, d2};
+    EXPECT_FALSE(s.validate().empty());
+  }
+  {  // drain of a join that fires later in the timeline
+    fi::Scenario s = base;
+    fi::ScenarioEvent drain;
+    drain.kind = K::kNodeDrain;
+    drain.node = 4;
+    drain.at = fi::Scenario::kWarmup + sim::msec(5);
+    fi::ScenarioEvent join;
+    join.kind = K::kNodeJoin;
+    join.at = fi::Scenario::kWarmup + sim::msec(50);
+    s.events = {drain, join};
+    EXPECT_FALSE(s.validate().empty());
+  }
+}
+
+TEST(ScenarioValidate, PortCreditAllowsJoinOnlyAfterDrainRetires) {
+  // The 64-node radix-10 fat-tree has exactly one spare port. A second
+  // join is only runnable once an earlier drain has handed its port back
+  // (kRecoveryAllowance past the drain) — validate() must replay that
+  // timeline, not just count ports statically.
+  fi::Scenario s;
+  s.nodes = 64;
+  s.fabric = net::FabricPreset::kFatTree;
+  s.radix = 10;
+  using K = fi::ScenarioEvent::Kind;
+  fi::ScenarioEvent join1;
+  join1.kind = K::kNodeJoin;
+  join1.at = fi::Scenario::kWarmup + sim::sec(1);
+  fi::ScenarioEvent drain;
+  drain.kind = K::kNodeDrain;
+  drain.node = 64;
+  drain.at = fi::Scenario::kWarmup + sim::sec(5);
+  fi::ScenarioEvent join2;
+  join2.kind = K::kNodeJoin;
+  s.events = {join1, drain, join2};
+
+  // Too soon: the drained port is still retiring at drain + 2 s.
+  s.events[2].at = drain.at + sim::sec(2);
+  EXPECT_FALSE(s.validate().empty());
+  // After the credit lands (drain + kRecoveryAllowance) the join is fine.
+  s.events[2].at = drain.at + fi::Scenario::kRecoveryAllowance + sim::msec(1);
+  EXPECT_TRUE(s.validate().empty()) << s.validate();
 }
 
 // ---- the deliberately broken invariant ----------------------------------
@@ -260,6 +351,61 @@ TEST(Shrinker, MinimizesDoubleDeliverScheduleToEssentials) {
   // Minimal scenario still fails identically when re-run from scratch.
   const fi::RunReport again = fi::ScenarioRunner::run(sh.minimal);
   EXPECT_EQ(again.failure_signature(), "stream-exactly-once");
+  EXPECT_EQ(again.digest, sh.report.digest);
+}
+
+TEST(Shrinker, PreservesMembershipTimelineWhenShrinkingJoinDuringLoss) {
+  // A join landing inside a loss window, the joiner drained later, plus a
+  // deliberate duplicate so the run fails deterministically. Every shrink
+  // candidate must keep the membership timeline structurally valid — a
+  // candidate that drops the join but keeps the drain (or moves the join
+  // to a port-less instant) is rejected by Scenario::validate()'s
+  // dry-build port replay, not run.
+  fi::Scenario s;
+  s.seed = 41;
+  s.nodes = 6;  // radix-8 fat-tree: leaf 1 keeps two host ports free
+  s.fabric = net::FabricPreset::kFatTree;
+  s.radix = 8;
+  s.msgs = 30;
+  s.send_gap = sim::msec(1);  // paced: stream 0 is still mid-flight at +6 ms
+  using K = fi::ScenarioEvent::Kind;
+  fi::ScenarioEvent loss;
+  loss.kind = K::kFaultWindow;
+  loss.at = fi::Scenario::kWarmup + sim::usec(100);
+  loss.duration = sim::msec(8);
+  loss.drop = 0.08;
+  fi::ScenarioEvent join;
+  join.kind = K::kNodeJoin;
+  join.at = fi::Scenario::kWarmup + sim::msec(2);  // inside the loss window
+  fi::ScenarioEvent dup;
+  dup.kind = K::kDoubleDeliver;
+  dup.node = 0;
+  dup.at = fi::Scenario::kWarmup + sim::msec(6);
+  fi::ScenarioEvent drain;
+  drain.kind = K::kNodeDrain;
+  drain.node = 6;  // the joiner
+  drain.at = fi::Scenario::kWarmup + sim::msec(30);
+  s.events = {loss, join, dup, drain};
+  ASSERT_TRUE(s.validate().empty()) << s.validate();
+
+  const fi::RunReport r = fi::ScenarioRunner::run(s);
+  ASSERT_TRUE(r.failed());
+  ASSERT_EQ(r.failure_signature(), "stream-exactly-once");
+
+  const fi::ShrinkResult sh = fi::Shrinker::shrink(s, r);
+  EXPECT_EQ(sh.report.failure_signature(), "stream-exactly-once");
+  EXPECT_TRUE(sh.minimal.validate().empty()) << sh.minimal.validate();
+  // No orphaned drain: if the drain survived, so did the join it targets.
+  bool has_join = false, has_drain = false;
+  for (const fi::ScenarioEvent& ev : sh.minimal.events) {
+    has_join |= ev.kind == K::kNodeJoin;
+    has_drain |= ev.kind == K::kNodeDrain;
+  }
+  EXPECT_TRUE(has_join || !has_drain);
+  // And the minimal repro replays bit-identically through the JSON loop.
+  const auto back = fi::Scenario::from_json(sh.minimal.to_json());
+  ASSERT_TRUE(back.has_value());
+  const fi::RunReport again = fi::ScenarioRunner::run(*back);
   EXPECT_EQ(again.digest, sh.report.digest);
 }
 
